@@ -1,0 +1,60 @@
+"""Shared helpers for the figure/table benchmark suite.
+
+Every bench regenerates one table or figure of the paper: it computes
+the underlying runs through the cached experiment harness
+(:mod:`repro.analysis.experiments`), prints the same rows/series the
+paper reports, and writes them under ``results/`` for EXPERIMENTS.md.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` — batch copies per application (default 2; the
+  paper uses 50).  Shapes are scale-invariant.
+- ``REPRO_BENCH_MIXES`` — comma-separated mix subset (default all 8).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.experiments import bench_copies
+
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+#: Chapter 4 cooling configurations (the bold Table 3.2 columns).
+COOLINGS = ("FDHS_1.0", "AOHS_1.5")
+
+
+def bench_mixes() -> list[str]:
+    """The workload mixes to sweep (W1..W8 unless narrowed by env)."""
+    raw = os.environ.get("REPRO_BENCH_MIXES")
+    if raw:
+        return [mix.strip() for mix in raw.split(",") if mix.strip()]
+    return [f"W{i}" for i in range(1, 9)]
+
+
+def copies() -> int:
+    """Batch copies per application for the bench suite."""
+    return bench_copies()
+
+
+def emit(name: str, text: str) -> str:
+    """Print a figure's output and persist it under results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    except OSError:
+        pass
+    return banner
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The figure computations take seconds to minutes; re-running them for
+    statistical timing would be pointless, so every bench uses a single
+    pedantic round.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

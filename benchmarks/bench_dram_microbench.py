@@ -1,0 +1,62 @@
+"""Cycle-level FBDIMM microbenchmarks (calibration anchors).
+
+These time the actual cycle-level simulator under pytest-benchmark and
+report the measured latency/bandwidth envelope the analytic window model
+is calibrated against (§4.3.1 two-level split).
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.core.calibration import calibrate_envelope
+from repro.dram.system import MemorySystem
+from repro.dram.trafficgen import poisson_trace, stream_trace
+
+
+def test_envelope_calibration(benchmark):
+    def build():
+        report = calibrate_envelope(idle_requests=300, stream_requests=6000)
+        rows = [
+            ["idle latency (ns)", report.idle_latency_s * 1e9],
+            ["peak read bandwidth (GB/s)", report.peak_bandwidth_bytes_per_s / 1e9],
+        ]
+        return format_table(["measurement", "value"], rows)
+
+    emit("dram_calibration", run_once(benchmark, build))
+
+
+def test_stream_throughput_speed(benchmark):
+    """Simulator speed on a saturating stream (requests simulated/sec)."""
+
+    def run():
+        system = MemorySystem()
+        completed = system.run(stream_trace(count=2000, interarrival_s=0.0))
+        return len(completed)
+
+    count = benchmark(run)
+    assert count == 2000
+
+
+def test_latency_under_load_curve(benchmark):
+    def build():
+        system_rows = []
+        for label, interarrival in (
+            ("light (0.5M req/s)", 2e-6),
+            ("moderate (20M req/s)", 5e-8),
+            ("heavy (100M req/s)", 1e-8),
+        ):
+            system = MemorySystem()
+            trace = poisson_trace(
+                count=3000, address_space_bytes=1 << 30,
+                mean_interarrival_s=interarrival, seed=5,
+            )
+            system.run(trace)
+            stats = system.total_stats()
+            system_rows.append(
+                [label,
+                 stats.average_latency_s() * 1e9,
+                 stats.throughput_gbps()]
+            )
+        return format_table(["load", "mean latency (ns)", "throughput (GB/s)"], system_rows)
+
+    emit("dram_latency_under_load", run_once(benchmark, build))

@@ -1,0 +1,41 @@
+"""Fig. 4.10 — normalized processor energy per DTM scheme (vs DTM-TS).
+
+Expected shape (§4.4.3): CDVFS saves most (36-42% vs TS), ACG ~22%;
+BW costs ~47-48% *more* because the processor spins at full power while
+memory is throttled; the PID variants trade some energy back for speed.
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
+
+
+def _figure(cooling: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        ts = run_chapter4(Chapter4Spec(mix=mix, policy="ts", cooling=cooling, copies=n))
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter4(
+                Chapter4Spec(mix=mix, policy=policy, cooling=cooling, copies=n)
+            )
+            normalized = result.cpu_energy_j / ts.cpu_energy_j
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig4_10a_fdhs(benchmark):
+    emit("fig4_10a_cpu_energy_fdhs", run_once(benchmark, lambda: _figure("FDHS_1.0")))
+
+
+def test_fig4_10b_aohs(benchmark):
+    emit("fig4_10b_cpu_energy_aohs", run_once(benchmark, lambda: _figure("AOHS_1.5")))

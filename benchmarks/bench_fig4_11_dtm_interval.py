@@ -1,0 +1,49 @@
+"""Fig. 4.11 — normalized average running time vs the DTM interval.
+
+Intervals of 1/10/20/100 ms, normalized to 10 ms.  Expected shape
+(§4.4.4): the 1 ms interval pays its 2.5% control overhead; 10-100 ms
+agree within ~2%.
+
+The 1 ms runs cost 10x the simulation steps, so this bench sweeps a
+three-mix subset by default.
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+INTERVALS_S = (0.001, 0.010, 0.020, 0.100)
+POLICIES = ("ts", "bw", "acg", "cdvfs")
+
+
+def test_fig4_11_dtm_interval(benchmark):
+    def build():
+        n = copies()
+        mixes = bench_mixes()[:3]
+        rows = []
+        for policy in POLICIES:
+            normalized_by_interval = []
+            for interval in INTERVALS_S:
+                ratios = []
+                for mix in mixes:
+                    result = run_chapter4(
+                        Chapter4Spec(
+                            mix=mix, policy=policy, cooling="AOHS_1.5",
+                            copies=n, dtm_interval_s=interval,
+                        )
+                    )
+                    reference = run_chapter4(
+                        Chapter4Spec(
+                            mix=mix, policy=policy, cooling="AOHS_1.5",
+                            copies=n, dtm_interval_s=0.010,
+                        )
+                    )
+                    ratios.append(result.runtime_s / reference.runtime_s)
+                normalized_by_interval.append(geometric_mean(ratios))
+            rows.append([policy.upper()] + normalized_by_interval)
+        headers = ["policy"] + [f"{int(i * 1e3)}ms" for i in INTERVALS_S]
+        return format_table(headers, rows)
+
+    emit("fig4_11_dtm_interval", run_once(benchmark, build))

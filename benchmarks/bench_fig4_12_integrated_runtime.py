@@ -1,0 +1,50 @@
+"""Fig. 4.12 — normalized running time under the integrated thermal model.
+
+The integrated model (Eq. 3.6) lets processor heat raise the memory
+ambient.  Expected shape (§4.5.1): TS/BW still worst; ACG good; and the
+surprise finding — CDVFS closes on or beats ACG because it cuts the
+processor heat that pre-warms the DIMMs.
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("ts", "bw", "acg", "cdvfs")
+
+
+def _figure(cooling: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        baseline = run_chapter4(
+            Chapter4Spec(
+                mix=mix, policy="no-limit", cooling=cooling,
+                ambient="integrated", copies=n,
+            )
+        )
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter4(
+                Chapter4Spec(
+                    mix=mix, policy=policy, cooling=cooling,
+                    ambient="integrated", copies=n,
+                )
+            )
+            normalized = result.runtime_s / baseline.runtime_s
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig4_12a_fdhs(benchmark):
+    emit("fig4_12a_integrated_fdhs", run_once(benchmark, lambda: _figure("FDHS_1.0")))
+
+
+def test_fig4_12b_aohs(benchmark):
+    emit("fig4_12b_integrated_aohs", run_once(benchmark, lambda: _figure("AOHS_1.5")))

@@ -1,0 +1,46 @@
+"""Fig. 4.13 — average normalized runtime vs thermal-interaction degree.
+
+Psi_CPU_MEM * xi in {1.0, 1.5, 2.0} under the integrated model.
+Expected shape (§4.5.2): every scheme slows as the interaction grows
+(more processor heat reaches the DIMMs).
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+DEGREES = (1.0, 1.5, 2.0)
+POLICIES = ("ts", "bw", "acg", "cdvfs")
+
+
+def test_fig4_13_interaction_sweep(benchmark):
+    def build():
+        n = copies()
+        mixes = bench_mixes()
+        rows = []
+        for policy in POLICIES:
+            row: list[object] = [policy.upper()]
+            for degree in DEGREES:
+                ratios = []
+                for mix in mixes:
+                    baseline = run_chapter4(
+                        Chapter4Spec(
+                            mix=mix, policy="no-limit", cooling="FDHS_1.0",
+                            ambient="integrated", interaction=degree, copies=n,
+                        )
+                    )
+                    result = run_chapter4(
+                        Chapter4Spec(
+                            mix=mix, policy=policy, cooling="FDHS_1.0",
+                            ambient="integrated", interaction=degree, copies=n,
+                        )
+                    )
+                    ratios.append(result.runtime_s / baseline.runtime_s)
+                row.append(geometric_mean(ratios))
+            rows.append(row)
+        headers = ["policy"] + [f"degree={d}" for d in DEGREES]
+        return format_table(headers, rows)
+
+    emit("fig4_13_interaction_sweep", run_once(benchmark, build))

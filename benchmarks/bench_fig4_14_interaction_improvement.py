@@ -1,0 +1,47 @@
+"""Fig. 4.14 — ACG/CDVFS improvement over DTM-BW vs interaction degree.
+
+Expected shape (§4.5.2): ACG's improvement stays roughly flat (~9%)
+while CDVFS's grows with the interaction degree (8.8% -> 19.6% in the
+paper) because cutting processor heat matters more when more of it
+reaches the DIMMs.
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+DEGREES = (1.0, 1.5, 2.0)
+
+
+def test_fig4_14_interaction_improvement(benchmark):
+    def build():
+        n = copies()
+        mixes = bench_mixes()
+        rows = []
+        for policy in ("acg", "cdvfs"):
+            row: list[object] = [policy.upper()]
+            for degree in DEGREES:
+                ratios = []
+                for mix in mixes:
+                    bw = run_chapter4(
+                        Chapter4Spec(
+                            mix=mix, policy="bw", cooling="FDHS_1.0",
+                            ambient="integrated", interaction=degree, copies=n,
+                        )
+                    )
+                    result = run_chapter4(
+                        Chapter4Spec(
+                            mix=mix, policy=policy, cooling="FDHS_1.0",
+                            ambient="integrated", interaction=degree, copies=n,
+                        )
+                    )
+                    ratios.append(result.runtime_s / bw.runtime_s)
+                improvement = (1.0 - geometric_mean(ratios)) * 100.0
+                row.append(improvement)
+            rows.append(row)
+        headers = ["policy"] + [f"improvement% @ degree={d}" for d in DEGREES]
+        return format_table(headers, rows)
+
+    emit("fig4_14_interaction_improvement", run_once(benchmark, build))

@@ -1,0 +1,46 @@
+"""Fig. 4.2 — performance of DTM-TS with varied thermal release point.
+
+(a) FDHS_1.0 sweeps the DRAM TRP (the DRAM binds first there);
+(b) AOHS_1.5 sweeps the AMB TRP.  Runtime is normalized to the no-limit
+ideal; higher TRPs should lose less performance (§4.4.1).
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.tables import format_table
+
+#: TRP sweep values: distance below the TDP (85 DRAM / 110 AMB).
+DRAM_TRPS = (81.0, 82.0, 83.0, 84.0, 84.5)
+AMB_TRPS = (106.0, 107.0, 108.0, 109.0, 109.5)
+
+
+def _sweep(cooling: str, trp_field: str, trps: tuple[float, ...]) -> str:
+    rows = []
+    n = copies()
+    for mix in bench_mixes():
+        baseline = run_chapter4(Chapter4Spec(mix=mix, policy="no-limit", cooling=cooling, copies=n))
+        row: list[object] = [mix]
+        for trp in trps:
+            kwargs = {trp_field: trp}
+            result = run_chapter4(
+                Chapter4Spec(mix=mix, policy="ts", cooling=cooling, copies=n, **kwargs)
+            )
+            row.append(result.runtime_s / baseline.runtime_s)
+        rows.append(row)
+    headers = ["mix"] + [f"TRP={trp}" for trp in trps]
+    return format_table(headers, rows)
+
+
+def test_fig4_2a_fdhs_dram_trp(benchmark):
+    text = run_once(
+        benchmark, lambda: _sweep("FDHS_1.0", "dram_trp_c", DRAM_TRPS)
+    )
+    emit("fig4_2a_fdhs_dram_trp", text)
+
+
+def test_fig4_2b_aohs_amb_trp(benchmark):
+    text = run_once(
+        benchmark, lambda: _sweep("AOHS_1.5", "amb_trp_c", AMB_TRPS)
+    )
+    emit("fig4_2b_aohs_amb_trp", text)

@@ -1,0 +1,44 @@
+"""Fig. 4.3 — normalized running time of every DTM scheme.
+
+Seven schemes (TS, BW, ACG, CDVFS, and BW/ACG/CDVFS with PID) on W1–W8
+under both cooling configurations, normalized to the no-limit ideal.
+Expected shape: TS ~ BW worst, ACG best (avg ~1.5 vs ~1.8), CDVFS in
+between, PID improving each (§4.4.2).
+"""
+
+from _common import COOLINGS, bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("ts", "bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
+
+
+def _figure(cooling: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        baseline = run_chapter4(
+            Chapter4Spec(mix=mix, policy="no-limit", cooling=cooling, copies=n)
+        )
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter4(
+                Chapter4Spec(mix=mix, policy=policy, cooling=cooling, copies=n)
+            )
+            normalized = result.runtime_s / baseline.runtime_s
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig4_3a_fdhs(benchmark):
+    emit("fig4_3a_runtime_fdhs", run_once(benchmark, lambda: _figure("FDHS_1.0")))
+
+
+def test_fig4_3b_aohs(benchmark):
+    emit("fig4_3b_runtime_aohs", run_once(benchmark, lambda: _figure("AOHS_1.5")))

@@ -1,0 +1,42 @@
+"""Fig. 4.4 — normalized total memory traffic per DTM scheme.
+
+Expected shape: TS/BW ~1.0, CDVFS ~0.95, ACG ~0.83-0.84 (the shared-L2
+contention relief), with PID adding a point or two back (§4.4.2).
+"""
+
+from _common import COOLINGS, bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("ts", "bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
+
+
+def _figure(cooling: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        baseline = run_chapter4(
+            Chapter4Spec(mix=mix, policy="no-limit", cooling=cooling, copies=n)
+        )
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter4(
+                Chapter4Spec(mix=mix, policy=policy, cooling=cooling, copies=n)
+            )
+            normalized = result.traffic_bytes / baseline.traffic_bytes
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig4_4a_fdhs(benchmark):
+    emit("fig4_4a_traffic_fdhs", run_once(benchmark, lambda: _figure("FDHS_1.0")))
+
+
+def test_fig4_4b_aohs(benchmark):
+    emit("fig4_4b_traffic_aohs", run_once(benchmark, lambda: _figure("AOHS_1.5")))

@@ -1,0 +1,51 @@
+"""Figs. 4.5–4.8 — AMB temperature traces of TS/BW/ACG/CDVFS on W1.
+
+AOHS_1.5 cooling, first 1000 s, with and without PID.  Expected shapes
+(§4.4.2): TS swings between 109 and 110 degC; BW sits near 109.5; the
+PID variants pin ~109.8 with no overshoot; plain CDVFS occasionally
+touches 110 (overshoot) which PID eliminates.
+"""
+
+from _common import copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.series import summarize_series
+from repro.analysis.tables import format_series, format_table
+
+CASES = (
+    ("fig4_5_ts", "ts"),
+    ("fig4_6_bw", "bw"),
+    ("fig4_6b_bw_pid", "bw+pid"),
+    ("fig4_7_acg", "acg"),
+    ("fig4_7b_acg_pid", "acg+pid"),
+    ("fig4_8_cdvfs", "cdvfs"),
+    ("fig4_8b_cdvfs_pid", "cdvfs+pid"),
+)
+
+
+def test_figs4_5_to_4_8_temperature_traces(benchmark):
+    def build():
+        n = copies()
+        lines = []
+        rows = []
+        for name, policy in CASES:
+            result = run_chapter4(
+                Chapter4Spec(
+                    mix="W1", policy=policy, cooling="AOHS_1.5",
+                    copies=n, record_trace=True,
+                )
+            )
+            window = result.trace.window(0.0, 1000.0)
+            lines.append(format_series(f"{name:18s}", window.amb_c))
+            summary = summarize_series(window.amb_c, threshold=110.0)
+            rows.append(
+                [policy, summary.minimum, summary.mean, summary.maximum,
+                 summary.overshoot_fraction]
+            )
+        table = format_table(
+            ["policy", "min(degC)", "mean(degC)", "max(degC)", "overshoot frac"],
+            rows,
+        )
+        return "\n".join(lines) + "\n\n" + table
+
+    emit("fig4_5_to_4_8_temp_traces", run_once(benchmark, build))

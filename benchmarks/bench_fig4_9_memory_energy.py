@@ -1,0 +1,41 @@
+"""Fig. 4.9 — normalized FBDIMM energy per DTM scheme (vs DTM-TS).
+
+Expected shape: ACG saves ~16% of memory energy (less traffic and less
+time), CDVFS ~3-4%, BW slightly less than TS; PID trims a little more
+(§4.4.3).
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
+
+
+def _figure(cooling: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        ts = run_chapter4(Chapter4Spec(mix=mix, policy="ts", cooling=cooling, copies=n))
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter4(
+                Chapter4Spec(mix=mix, policy=policy, cooling=cooling, copies=n)
+            )
+            normalized = result.memory_energy_j / ts.memory_energy_j
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig4_9a_fdhs(benchmark):
+    emit("fig4_9a_memory_energy_fdhs", run_once(benchmark, lambda: _figure("FDHS_1.0")))
+
+
+def test_fig4_9b_aohs(benchmark):
+    emit("fig4_9b_memory_energy_aohs", run_once(benchmark, lambda: _figure("AOHS_1.5")))

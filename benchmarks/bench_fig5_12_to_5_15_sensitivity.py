@@ -1,0 +1,144 @@
+"""Figs. 5.12–5.15 — Chapter 5 sensitivity analyses.
+
+- Fig. 5.12: SR1500AL at 26 degC room ambient with an artificial 90 degC
+  TDP — the policy ranking should match the 36 degC results (it is the
+  ambient-to-TDP gap that matters, §5.4.5).
+- Fig. 5.13: DTM-ACG vs DTM-BW with the processor pinned at 3.0 vs
+  2.0 GHz — ACG's improvement persists at the lower clock.
+- Fig. 5.14: PE1950 with AMB TDPs of 88/90/92 degC — higher TDP, less
+  loss; policy improvements stay similar.
+- Fig. 5.15: DTM-ACG with scheduler time slices 5-100 ms — below ~20 ms
+  the L2 thrashes (misses and runtime rise).
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "comb")
+
+
+def test_fig5_12_room_ambient(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
+        for mix in bench_mixes():
+            baseline = run_chapter5(
+                Chapter5Spec(
+                    platform="SR1500AL", mix=mix, policy="no-limit", copies=n,
+                    ambient_override_c=26.0, amb_tdp_c=90.0,
+                )
+            )
+            row: list[object] = [mix]
+            for policy in POLICIES:
+                result = run_chapter5(
+                    Chapter5Spec(
+                        platform="SR1500AL", mix=mix, policy=policy, copies=n,
+                        ambient_override_c=26.0, amb_tdp_c=90.0,
+                    )
+                )
+                normalized = result.runtime_s / baseline.runtime_s
+                per_policy[policy].append(normalized)
+                row.append(normalized)
+            rows.append(row)
+        rows.append(["gmean"] + [geometric_mean(per_policy[p]) for p in POLICIES])
+        return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+    emit("fig5_12_room_ambient", run_once(benchmark, build))
+
+
+def test_fig5_13_processor_frequency(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        for level, label in ((0, "3.0GHz"), (3, "2.0GHz")):
+            ratios = []
+            for mix in bench_mixes():
+                bw = run_chapter5(
+                    Chapter5Spec(
+                        platform="SR1500AL", mix=mix, policy="bw", copies=n,
+                        base_frequency_level=level,
+                    )
+                )
+                acg = run_chapter5(
+                    Chapter5Spec(
+                        platform="SR1500AL", mix=mix, policy="acg", copies=n,
+                        base_frequency_level=level,
+                    )
+                )
+                ratios.append(acg.runtime_s / bw.runtime_s)
+            improvement = (1.0 - geometric_mean(ratios)) * 100.0
+            rows.append([label, geometric_mean(ratios), improvement])
+        return format_table(
+            ["base clock", "ACG/BW runtime", "ACG improvement %"], rows
+        )
+
+    emit("fig5_13_processor_frequency", run_once(benchmark, build))
+
+
+def test_fig5_14_amb_tdp_sweep(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        for tdp in (88.0, 90.0, 92.0):
+            row: list[object] = [f"TDP={tdp}"]
+            for policy in POLICIES:
+                ratios = []
+                for mix in bench_mixes():
+                    baseline = run_chapter5(
+                        Chapter5Spec(
+                            platform="PE1950", mix=mix, policy="no-limit",
+                            copies=n, amb_tdp_c=tdp,
+                        )
+                    )
+                    result = run_chapter5(
+                        Chapter5Spec(
+                            platform="PE1950", mix=mix, policy=policy,
+                            copies=n, amb_tdp_c=tdp,
+                        )
+                    )
+                    ratios.append(result.runtime_s / baseline.runtime_s)
+                row.append(geometric_mean(ratios))
+            rows.append(row)
+        return format_table(["setting"] + [p.upper() for p in POLICIES], rows)
+
+    emit("fig5_14_amb_tdp_sweep", run_once(benchmark, build))
+
+
+def test_fig5_15_time_slice_sweep(benchmark):
+    def build():
+        n = copies()
+        slices = (0.005, 0.010, 0.020, 0.050, 0.100)
+        rows = []
+        reference: dict[str, tuple[float, float]] = {}
+        for mix in bench_mixes():
+            result = run_chapter5(
+                Chapter5Spec(
+                    platform="PE1950", mix=mix, policy="acg", copies=n,
+                    time_slice_s=0.100,
+                )
+            )
+            reference[mix] = (result.runtime_s, result.l2_misses)
+        for slice_s in slices:
+            runtimes = []
+            misses = []
+            for mix in bench_mixes():
+                result = run_chapter5(
+                    Chapter5Spec(
+                        platform="PE1950", mix=mix, policy="acg", copies=n,
+                        time_slice_s=slice_s,
+                    )
+                )
+                runtimes.append(result.runtime_s / reference[mix][0])
+                misses.append(result.l2_misses / reference[mix][1])
+            rows.append(
+                [f"{slice_s * 1e3:.0f}ms", geometric_mean(runtimes), geometric_mean(misses)]
+            )
+        return format_table(
+            ["time slice", "norm runtime", "norm L2 misses"], rows
+        )
+
+    emit("fig5_15_time_slice_sweep", run_once(benchmark, build))

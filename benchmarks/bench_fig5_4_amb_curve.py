@@ -1,0 +1,42 @@
+"""Fig. 5.4 — AMB temperature curve, first 500 s on the SR1500AL.
+
+Homogeneous workloads (four copies of one program) from idle-stable
+temperature; the chipset safety throttle arms at 100 degC.  Expected
+shape (§5.4.1): the machine idles near 81 degC; swim/mgrid reach 100
+within ~150 s and then fluctuate around it; galgel/apsi/vpr stabilize
+below 100.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.tables import format_series, format_table
+from repro.testbed.performance import ServerWindowModel
+from repro.testbed.platforms import SR1500AL
+from repro.testbed.runner import run_homogeneous
+
+PROGRAMS = ("swim", "mgrid", "galgel", "apsi", "vpr")
+
+
+def test_fig5_4_amb_curves(benchmark):
+    def build():
+        model = ServerWindowModel(SR1500AL)
+        lines = []
+        rows = []
+        for name in PROGRAMS:
+            trace, _ = run_homogeneous(
+                SR1500AL, name, duration_s=500.0, window_model=model
+            )
+            lines.append(format_series(f"{name:8s}", trace.amb_c))
+            crossed = next(
+                (t for t, a in zip(trace.times_s, trace.amb_c) if a >= 100.0), None
+            )
+            rows.append(
+                [name, trace.amb_c[0], max(trace.amb_c),
+                 "never" if crossed is None else f"{crossed:.0f}s"]
+            )
+        table = format_table(
+            ["program", "start(degC)", "max(degC)", "reaches 100degC"], rows
+        )
+        return "\n".join(lines) + "\n\n" + table
+
+    emit("fig5_4_amb_curves", run_once(benchmark, build))

@@ -1,0 +1,42 @@
+"""Fig. 5.5 — average AMB temperature of homogeneous workloads (PE1950).
+
+No DTM control (the PE1950 sits in a cold room).  Expected shape
+(§5.4.1): the memory-intensive group (swim, mgrid, applu, art, mcf,
+equake, lucas, fma3d, wupwise, facerec) averages hottest; galgel, gap,
+bzip2, apsi sit in a middle band; the quiet programs stay coolest.  The
+0.5% hottest samples are discarded per the paper's despiking method.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.testbed.performance import ServerWindowModel
+from repro.testbed.platforms import PE1950
+from repro.testbed.runner import run_homogeneous
+from repro.thermal.sensors import despike
+
+PROGRAMS = (
+    "wupwise", "swim", "mgrid", "applu", "vpr", "galgel", "art", "mcf",
+    "equake", "facerec", "lucas", "fma3d", "gap", "bzip2", "apsi", "gzip",
+    "crafty", "mesa", "parser", "perlbmk", "twolf", "vortex", "eon",
+    "gcc", "ammp", "sixtrack",
+)
+
+
+def test_fig5_5_homogeneous_average_temps(benchmark):
+    def build():
+        model = ServerWindowModel(PE1950)
+        rows = []
+        for name in PROGRAMS:
+            trace, _ = run_homogeneous(
+                PE1950, name, duration_s=600.0,
+                safety_threshold_c=1000.0,  # no throttle: cold-room PE1950
+                window_model=model,
+            )
+            kept = despike(trace.amb_c, 0.005)
+            average = sum(kept) / len(kept)
+            rows.append([name, average, max(trace.amb_c)])
+        rows.sort(key=lambda row: -row[1])
+        return format_table(["program", "avg AMB (degC)", "max AMB (degC)"], rows)
+
+    emit("fig5_5_homogeneous_temps", run_once(benchmark, build))

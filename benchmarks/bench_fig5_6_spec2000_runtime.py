@@ -1,0 +1,44 @@
+"""Fig. 5.6 — normalized running time of SPEC CPU2000 mixes (both servers).
+
+Four policies (BW, ACG, CDVFS, COMB) normalized to the no-limit run.
+Expected shape (§5.4.2): BW degrades most; ACG and CDVFS claw back a
+substantial fraction; COMB ~ the best of the two; ACG may lose on the
+least memory-intensive mix (the W8 anomaly the paper reports).
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "comb")
+
+
+def _figure(platform: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        baseline = run_chapter5(
+            Chapter5Spec(platform=platform, mix=mix, policy="no-limit", copies=n)
+        )
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter5(
+                Chapter5Spec(platform=platform, mix=mix, policy=policy, copies=n)
+            )
+            normalized = result.runtime_s / baseline.runtime_s
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig5_6a_pe1950(benchmark):
+    emit("fig5_6a_spec2000_pe1950", run_once(benchmark, lambda: _figure("PE1950")))
+
+
+def test_fig5_6b_sr1500al(benchmark):
+    emit("fig5_6b_spec2000_sr1500al", run_once(benchmark, lambda: _figure("SR1500AL")))

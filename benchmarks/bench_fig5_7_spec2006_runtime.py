@@ -1,0 +1,33 @@
+"""Fig. 5.7 — normalized running time of SPEC CPU2006 mixes on the PE1950.
+
+W11 (milc, leslie3d, soplex, GemsFDTD) and W12 (libquantum, lbm,
+omnetpp, wrf).  Expected shape (§5.4.2): the CPU2000 findings carry
+over — BW degrades ~20-25%, ACG recovers ~7-13%, CDVFS ~14-15%.
+"""
+
+from _common import copies, emit, run_once
+
+from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "comb")
+
+
+def test_fig5_7_spec2006_pe1950(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        for mix in ("W11", "W12"):
+            baseline = run_chapter5(
+                Chapter5Spec(platform="PE1950", mix=mix, policy="no-limit", copies=n)
+            )
+            row: list[object] = [mix]
+            for policy in POLICIES:
+                result = run_chapter5(
+                    Chapter5Spec(platform="PE1950", mix=mix, policy=policy, copies=n)
+                )
+                row.append(result.runtime_s / baseline.runtime_s)
+            rows.append(row)
+        return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+    emit("fig5_7_spec2006_pe1950", run_once(benchmark, build))

@@ -1,0 +1,43 @@
+"""Fig. 5.8 — normalized L2 cache miss counts (both servers).
+
+Normalized to the no-limit run.  Expected shape (§5.4.3): BW barely
+changes misses; ACG (and COMB) cut them 25-30% on average by giving
+each program the whole socket L2 while it runs; CDVFS leaves them flat.
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.normalize import geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "comb")
+
+
+def _figure(platform: str) -> str:
+    n = copies()
+    rows = []
+    columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    for mix in bench_mixes():
+        baseline = run_chapter5(
+            Chapter5Spec(platform=platform, mix=mix, policy="no-limit", copies=n)
+        )
+        row: list[object] = [mix]
+        for policy in POLICIES:
+            result = run_chapter5(
+                Chapter5Spec(platform=platform, mix=mix, policy=policy, copies=n)
+            )
+            normalized = result.l2_misses / baseline.l2_misses
+            columns[policy].append(normalized)
+            row.append(normalized)
+        rows.append(row)
+    rows.append(["gmean"] + [geometric_mean(columns[p]) for p in POLICIES])
+    return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+
+def test_fig5_8a_pe1950(benchmark):
+    emit("fig5_8a_l2_misses_pe1950", run_once(benchmark, lambda: _figure("PE1950")))
+
+
+def test_fig5_8b_sr1500al(benchmark):
+    emit("fig5_8b_l2_misses_sr1500al", run_once(benchmark, lambda: _figure("SR1500AL")))

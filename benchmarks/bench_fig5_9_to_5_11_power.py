@@ -1,0 +1,89 @@
+"""Figs. 5.9–5.11 — inlet temperature, CPU power, CPU+DRAM energy (SR1500AL).
+
+- Fig. 5.9: measured memory inlet temperature per policy.  Expected
+  shape: BW and ACG similar; CDVFS/COMB ~1 degC cooler (the voltage
+  scaling cuts the heat the airflow picks up from the processors).
+- Fig. 5.10: average CPU power normalized to BW.  Expected: ACG ~ BW;
+  CDVFS ~15% lower; COMB ~13% lower.
+- Fig. 5.11: CPU+DRAM energy normalized to BW.  Expected: ACG saves ~6%
+  (time), CDVFS ~22% (power x time), COMB ~16%.
+"""
+
+from _common import bench_mixes, copies, emit, run_once
+
+from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.normalize import arithmetic_mean, geometric_mean
+from repro.analysis.tables import format_table
+
+POLICIES = ("bw", "acg", "cdvfs", "comb")
+
+
+def test_fig5_9_memory_inlet_temperature(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
+        for mix in bench_mixes():
+            row: list[object] = [mix]
+            for policy in POLICIES:
+                result = run_chapter5(
+                    Chapter5Spec(platform="SR1500AL", mix=mix, policy=policy, copies=n)
+                )
+                per_policy[policy].append(result.mean_inlet_c)
+                row.append(result.mean_inlet_c)
+            rows.append(row)
+        rows.append(["mean"] + [arithmetic_mean(per_policy[p]) for p in POLICIES])
+        return format_table(
+            ["mix"] + [f"{p.upper()} inlet(degC)" for p in POLICIES], rows
+        )
+
+    emit("fig5_9_inlet_temperature", run_once(benchmark, build))
+
+
+def test_fig5_10_cpu_power(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
+        for mix in bench_mixes():
+            bw = run_chapter5(
+                Chapter5Spec(platform="SR1500AL", mix=mix, policy="bw", copies=n)
+            )
+            row: list[object] = [mix]
+            for policy in POLICIES:
+                result = run_chapter5(
+                    Chapter5Spec(platform="SR1500AL", mix=mix, policy=policy, copies=n)
+                )
+                normalized = result.average_cpu_power_w / bw.average_cpu_power_w
+                per_policy[policy].append(normalized)
+                row.append(normalized)
+            rows.append(row)
+        rows.append(["gmean"] + [geometric_mean(per_policy[p]) for p in POLICIES])
+        return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+    emit("fig5_10_cpu_power", run_once(benchmark, build))
+
+
+def test_fig5_11_energy(benchmark):
+    def build():
+        n = copies()
+        rows = []
+        per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
+        for mix in bench_mixes():
+            bw = run_chapter5(
+                Chapter5Spec(platform="SR1500AL", mix=mix, policy="bw", copies=n)
+            )
+            bw_total = bw.cpu_energy_j + bw.memory_energy_j
+            row: list[object] = [mix]
+            for policy in POLICIES:
+                result = run_chapter5(
+                    Chapter5Spec(platform="SR1500AL", mix=mix, policy=policy, copies=n)
+                )
+                normalized = (result.cpu_energy_j + result.memory_energy_j) / bw_total
+                per_policy[policy].append(normalized)
+                row.append(normalized)
+            rows.append(row)
+        rows.append(["gmean"] + [geometric_mean(per_policy[p]) for p in POLICIES])
+        return format_table(["mix"] + [p.upper() for p in POLICIES], rows)
+
+    emit("fig5_11_energy", run_once(benchmark, build))

@@ -1,0 +1,139 @@
+"""Parameter tables: Tables 3.1, 3.2, 3.3, 4.1, 4.2, 4.3, 5.1, 5.2.
+
+These benches print the constant tables exactly as the library carries
+them, verifying the transcription against the paper's values.
+"""
+
+from _common import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.params.dram_timing import DDR2Timing, SimulatedSystemParams
+from repro.params.emergency import PE1950_LEVELS, SIMULATION_LEVELS, SR1500AL_LEVELS
+from repro.params.power_params import AMBPowerParams, DRAMPowerParams, SIMULATED_CPU_POWER
+from repro.params.thermal_params import COOLING_CONFIGS, INTEGRATED_AMBIENT, ISOLATED_AMBIENT
+from repro.units import to_gbps
+from repro.workloads.mixes import WORKLOAD_MIXES
+
+
+def test_table_3_1_amb_power_params(benchmark):
+    def build():
+        amb = AMBPowerParams()
+        dram = DRAMPowerParams()
+        rows = [
+            ["P_AMB_idle (last DIMM)", amb.idle_last_dimm_w, "W"],
+            ["P_AMB_idle (other DIMMs)", amb.idle_other_dimm_w, "W"],
+            ["beta", amb.beta_w_per_gbps, "W/(GB/s)"],
+            ["gamma", amb.gamma_w_per_gbps, "W/(GB/s)"],
+            ["P_DRAM_static", dram.static_w, "W"],
+            ["alpha1 (read)", dram.alpha1_w_per_gbps, "W/(GB/s)"],
+            ["alpha2 (write)", dram.alpha2_w_per_gbps, "W/(GB/s)"],
+        ]
+        return format_table(["parameter", "value", "unit"], rows)
+
+    emit("table_3_1", run_once(benchmark, build))
+
+
+def test_table_3_2_thermal_resistances(benchmark):
+    def build():
+        rows = []
+        for name, cooling in sorted(COOLING_CONFIGS.items()):
+            r = cooling.resistances
+            rows.append(
+                [name, r.psi_amb, r.psi_dram_amb, r.psi_dram, r.psi_amb_dram,
+                 cooling.tau_amb_s, cooling.tau_dram_s]
+            )
+        return format_table(
+            ["config", "psi_AMB", "psi_DRAM_AMB", "psi_DRAM", "psi_AMB_DRAM",
+             "tau_AMB(s)", "tau_DRAM(s)"],
+            rows,
+        )
+
+    emit("table_3_2", run_once(benchmark, build))
+
+
+def test_table_3_3_ambient_params(benchmark):
+    def build():
+        rows = []
+        for label, params in (("isolated", ISOLATED_AMBIENT), ("integrated", INTEGRATED_AMBIENT)):
+            for cooling, inlet in sorted(params.inlet_by_cooling.items()):
+                rows.append([label, cooling, inlet, params.interaction])
+        return format_table(["model", "cooling", "inlet(degC)", "PsiCPU_MEM*xi"], rows)
+
+    emit("table_3_3", run_once(benchmark, build))
+
+
+def test_table_4_1_simulator_params(benchmark):
+    def build():
+        s = SimulatedSystemParams()
+        t = DDR2Timing()
+        rows = [
+            ["cores", s.cores], ["issue width", s.issue_width],
+            ["pipeline stages", s.pipeline_stages],
+            ["L2 (MB)", s.l2_capacity_bytes / 2**20],
+            ["L2 ways", s.l2_ways],
+            ["logical channels", s.logical_channels],
+            ["physical channels", s.physical_channels],
+            ["DIMMs/channel", s.dimms_per_channel],
+            ["banks/DIMM", s.banks_per_dimm],
+            ["transfer rate (MT/s)", t.transfer_rate_mt],
+            ["tRCD/tCL/tRP (ns)", f"{t.trcd_ns}/{t.tcl_ns}/{t.trp_ns}"],
+            ["tRAS/tRC (ns)", f"{t.tras_ns}/{t.trc_ns}"],
+            ["DTM interval (ms)", s.dtm_interval_s * 1e3],
+            ["DTM overhead (us)", s.dtm_overhead_s * 1e6],
+            ["controller queue", s.channel.controller_queue_entries],
+            ["controller overhead (ns)", s.channel.controller_overhead_ns],
+        ]
+        return format_table(["parameter", "value"], rows)
+
+    emit("table_4_1", run_once(benchmark, build))
+
+
+def test_tables_4_2_and_5_2_workload_mixes(benchmark):
+    def build():
+        rows = [
+            [name, ", ".join(mix.app_names)]
+            for name, mix in sorted(WORKLOAD_MIXES.items())
+        ]
+        return format_table(["mix", "benchmarks"], rows)
+
+    emit("tables_4_2_5_2", run_once(benchmark, build))
+
+
+def test_tables_4_3_and_5_1_emergency_levels(benchmark):
+    def build():
+        sections = []
+        for label, levels in (
+            ("simulated platform (Table 4.3)", SIMULATION_LEVELS),
+            ("PE1950 (Table 5.1)", PE1950_LEVELS),
+            ("SR1500AL (Table 5.1)", SR1500AL_LEVELS),
+        ):
+            rows = []
+            for index in range(levels.level_count):
+                cap = levels.bw_caps_bytes_per_s[index]
+                cap_text = "no limit" if cap is None else (
+                    "off" if cap == 0 else f"{to_gbps(cap):.1f} GB/s"
+                )
+                rows.append(
+                    [f"L{index + 1}", cap_text,
+                     levels.acg_active_cores[index], levels.cdvfs_levels[index]]
+                )
+            table = format_table(["level", "BW cap", "ACG cores", "CDVFS level"], rows)
+            sections.append(f"-- {label} (AMB TDP {levels.amb_tdp_c} degC) --\n{table}")
+        return "\n\n".join(sections)
+
+    emit("tables_4_3_5_1", run_once(benchmark, build))
+
+
+def test_table_4_4_cpu_power(benchmark):
+    def build():
+        t = SIMULATED_CPU_POWER
+        rows = [["ACG", f"{cores} cores", t.acg_power_w(cores)] for cores in range(5)]
+        labels = ["3.2GHz@1.55V", "2.8GHz@1.35V", "1.6GHz@1.15V", "0.8GHz@0.95V", "stopped"]
+        rows += [
+            ["CDVFS", labels[level], t.cdvfs_power_at_level(level)]
+            for level in range(5)
+        ]
+        rows += [["TS/BW", "running", 260.0], ["TS/BW", "memory off", t.standby_w]]
+        return format_table(["scheme", "state", "power (W)"], rows)
+
+    emit("table_4_4", run_once(benchmark, build))

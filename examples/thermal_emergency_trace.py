@@ -1,0 +1,40 @@
+"""Watch a thermal emergency unfold: AMB temperature traces per scheme.
+
+Reproduces the Figs. 4.5-4.8 view: W1 on AOHS_1.5 under DTM-TS, DTM-BW,
+DTM-ACG and DTM-CDVFS (with and without PID), printing a sparkline of
+the first 1000 s of each run's hottest-AMB temperature.
+
+Run:  python examples/thermal_emergency_trace.py
+"""
+
+from repro import SimulationConfig, TwoLevelSimulator
+from repro.analysis.tables import format_series
+from repro.core.windowmodel import WindowModel
+from repro.dtm import DTMACG, DTMBW, DTMCDVFS, DTMTS, make_pid_policy
+
+
+def main() -> None:
+    window_model = WindowModel()
+    config = SimulationConfig(mix_name="W1", copies=2, record_trace=True)
+    print("AMB temperature, W1 @ AOHS_1.5, first 1000 s "
+          "(TDP 110.0, PID target 109.8):\n")
+    for policy in (
+        DTMTS(),
+        DTMBW(),
+        make_pid_policy("bw"),
+        DTMACG(),
+        make_pid_policy("acg"),
+        DTMCDVFS(),
+        make_pid_policy("cdvfs"),
+    ):
+        result = TwoLevelSimulator(config, policy, window_model=window_model).run()
+        window = result.trace.window(0.0, 1000.0)
+        print(format_series(f"{policy.name:15s}", window.amb_c))
+    print(
+        "\nExpected shapes (§4.4.2): TS swings 109-110; BW sits ~109.5;\n"
+        "PID variants pin ~109.8 with no overshoot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — Thermal Modeling and Management of DRAM Memory Systems.
+
+A from-scratch Python reproduction of Lin et al.'s ISCA 2007 paper (and
+its dissertation/SIGMETRICS 2008 extensions): FBDIMM power and thermal
+models, the two-level thermal simulator, the DTM schemes (TS, BW, ACG,
+CDVFS, COMB, with and without PID control), and the real-system testbed
+emulation.
+
+Quickstart::
+
+    from repro import SimulationConfig, TwoLevelSimulator
+    from repro.dtm import DTMACG
+
+    config = SimulationConfig(mix_name="W1", copies=1)
+    result = TwoLevelSimulator(config, DTMACG()).run()
+    print(result.runtime_s, result.peak_amb_c)
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core.memspot import MemSpot, MemSpotSample
+from repro.core.results import RunResult, TemperatureTrace
+from repro.core.simulator import SimulationConfig, TwoLevelSimulator
+from repro.core.windowmodel import MemoryEnvelope, WindowModel, WindowResult
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    ThermalModelError,
+    TimingViolationError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemSpot",
+    "MemSpotSample",
+    "RunResult",
+    "TemperatureTrace",
+    "SimulationConfig",
+    "TwoLevelSimulator",
+    "MemoryEnvelope",
+    "WindowModel",
+    "WindowResult",
+    "ReproError",
+    "ConfigurationError",
+    "TimingViolationError",
+    "ProtocolError",
+    "SchedulingError",
+    "ThermalModelError",
+    "SimulationError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analysis utilities: normalization, ASCII tables, experiment harness.
+
+- :mod:`repro.analysis.normalize` — normalization helpers used by every
+  figure (the paper reports runtimes/traffic/energy relative to either
+  the no-limit baseline or DTM-TS/DTM-BW).
+- :mod:`repro.analysis.tables` — fixed-width table and sparkline
+  rendering so benches print figures legibly in a terminal.
+- :mod:`repro.analysis.series` — time-series helpers for the temperature
+  trace figures.
+- :mod:`repro.analysis.experiments` — the shared experiment runner with
+  in-process and on-disk caching, so the 25+ benches don't recompute the
+  same (workload, policy, cooling) runs.
+"""
+
+from repro.analysis.normalize import geometric_mean, normalize_map
+from repro.analysis.tables import format_table, sparkline
+from repro.analysis.series import downsample, summarize_series
+from repro.analysis.experiments import (
+    Chapter4Spec,
+    Chapter5Spec,
+    bench_copies,
+    run_chapter4,
+    run_chapter5,
+)
+
+__all__ = [
+    "geometric_mean",
+    "normalize_map",
+    "format_table",
+    "sparkline",
+    "downsample",
+    "summarize_series",
+    "Chapter4Spec",
+    "Chapter5Spec",
+    "bench_copies",
+    "run_chapter4",
+    "run_chapter5",
+]

@@ -1,0 +1,338 @@
+"""Shared experiment harness with caching, used by the benchmark suite.
+
+Every figure bench needs the same underlying runs (e.g. the no-limit
+baseline of every workload).  This module provides declarative run
+specifications, policy construction, and two cache layers:
+
+- an **in-process memo** so one pytest session never repeats a run, and
+- an **on-disk JSON cache** under ``.exp_cache/`` keyed by the spec hash,
+  so tests and benches across sessions reuse results.  Temperature
+  traces are persisted alongside the scalars.
+
+``REPRO_BENCH_SCALE`` scales the batch length (copies of each app; the
+paper uses 50, the default here is 2 — shapes are scale-invariant).
+``REPRO_CACHE=0`` disables the disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.results import RunResult, TemperatureTrace
+from repro.core.simulator import SimulationConfig, TwoLevelSimulator
+from repro.core.windowmodel import WindowModel
+from repro.dtm.acg import DTMACG
+from repro.dtm.base import DTMPolicy, NoLimitPolicy
+from repro.dtm.bw import DTMBW
+from repro.dtm.cdvfs import DTMCDVFS
+from repro.dtm.comb import DTMCOMB
+from repro.dtm.pid_policies import PIDPolicy
+from repro.dtm.ts import DTMTS
+from repro.errors import ConfigurationError
+from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
+from repro.params.thermal_params import (
+    COOLING_CONFIGS,
+    INTEGRATED_AMBIENT,
+    ISOLATED_AMBIENT,
+)
+from repro.testbed.performance import ServerWindowModel
+from repro.testbed.platforms import PE1950, SR1500AL, ServerPlatform
+from repro.testbed.runner import ServerRunResult, ServerSimulator
+
+#: Directory of the on-disk cache (created on demand).
+CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
+
+#: Bump when model changes invalidate cached results.
+CACHE_VERSION = "v1"
+
+
+def bench_copies(default: int = 2) -> int:
+    """Batch copies per application, from ``REPRO_BENCH_SCALE``."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", str(default))
+    try:
+        copies = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"REPRO_BENCH_SCALE must be an integer, got {raw!r}")
+    if copies < 1:
+        raise ConfigurationError("REPRO_BENCH_SCALE must be >= 1")
+    return copies
+
+
+def _disk_cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+# ---------------------------------------------------------------------------
+# Chapter 4 (simulation) experiments
+# ---------------------------------------------------------------------------
+
+#: Paper presentation order of the simulation schemes.
+CHAPTER4_POLICIES = (
+    "no-limit",
+    "ts",
+    "bw",
+    "acg",
+    "cdvfs",
+    "bw+pid",
+    "acg+pid",
+    "cdvfs+pid",
+)
+
+
+@dataclass(frozen=True)
+class Chapter4Spec:
+    """One Chapter 4 simulation run."""
+
+    mix: str = "W1"
+    policy: str = "ts"
+    cooling: str = "AOHS_1.5"
+    #: "isolated" or "integrated" (Table 3.3 row).
+    ambient: str = "isolated"
+    copies: int = 2
+    dtm_interval_s: float = 0.010
+    #: CPU-memory interaction override (§4.5.2 sweeps 1.0 / 1.5 / 2.0).
+    interaction: float | None = None
+    #: DTM-TS release point overrides (Fig. 4.2 sweeps).
+    amb_trp_c: float | None = None
+    dram_trp_c: float | None = None
+    record_trace: bool = False
+
+    def key(self) -> str:
+        """Stable hash key of this spec."""
+        payload = json.dumps(self.__dict__, sort_keys=True, default=str)
+        digest = hashlib.sha256(f"{CACHE_VERSION}|ch4|{payload}".encode()).hexdigest()
+        return f"ch4-{digest[:20]}"
+
+
+def make_chapter4_policy(
+    name: str,
+    levels: EmergencyLevels = SIMULATION_LEVELS,
+    amb_trp_c: float | None = None,
+    dram_trp_c: float | None = None,
+) -> DTMPolicy:
+    """Construct a Chapter 4 policy by short name."""
+    if name == "no-limit":
+        return NoLimitPolicy()
+    if name == "ts":
+        return DTMTS(levels, amb_trp_c=amb_trp_c, dram_trp_c=dram_trp_c)
+    if name == "bw":
+        return DTMBW(levels)
+    if name == "acg":
+        return DTMACG(levels)
+    if name == "cdvfs":
+        return DTMCDVFS(levels)
+    if name == "comb":
+        return DTMCOMB(levels, min_active=1)
+    if name.endswith("+pid"):
+        scheme = name.removesuffix("+pid")
+        return PIDPolicy(scheme, levels=levels)
+    raise ConfigurationError(f"unknown Chapter 4 policy {name!r}")
+
+
+#: Shared window models (memoized level-1 evaluations) per envelope key.
+_window_models: dict[str, WindowModel] = {}
+_ch4_memo: dict[str, RunResult] = {}
+_server_models: dict[str, ServerWindowModel] = {}
+_ch5_memo: dict[str, ServerRunResult] = {}
+
+
+def _shared_window_model() -> WindowModel:
+    model = _window_models.get("default")
+    if model is None:
+        model = WindowModel()
+        _window_models["default"] = model
+    return model
+
+
+def run_chapter4(spec: Chapter4Spec) -> RunResult:
+    """Run (or recall) one Chapter 4 experiment."""
+    key = spec.key()
+    cached = _ch4_memo.get(key)
+    if cached is not None:
+        return cached
+    disk = _load_disk(key, _run_result_from_dict)
+    if disk is not None:
+        _ch4_memo[key] = disk
+        return disk
+    if spec.cooling not in COOLING_CONFIGS:
+        raise ConfigurationError(f"unknown cooling {spec.cooling!r}")
+    ambient = ISOLATED_AMBIENT if spec.ambient == "isolated" else INTEGRATED_AMBIENT
+    if spec.interaction is not None:
+        ambient = ambient.with_interaction(spec.interaction)
+    config = SimulationConfig(
+        mix_name=spec.mix,
+        copies=spec.copies,
+        cooling=COOLING_CONFIGS[spec.cooling],
+        ambient=ambient,
+        dtm_interval_s=spec.dtm_interval_s,
+        record_trace=spec.record_trace,
+    )
+    policy = make_chapter4_policy(
+        spec.policy, amb_trp_c=spec.amb_trp_c, dram_trp_c=spec.dram_trp_c
+    )
+    result = TwoLevelSimulator(config, policy, window_model=_shared_window_model()).run()
+    _ch4_memo[key] = result
+    _store_disk(key, _run_result_to_dict(result))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Chapter 5 (testbed) experiments
+# ---------------------------------------------------------------------------
+
+#: Paper presentation order of the measured policies.
+CHAPTER5_POLICIES = ("no-limit", "bw", "acg", "cdvfs", "comb")
+
+
+@dataclass(frozen=True)
+class Chapter5Spec:
+    """One Chapter 5 server measurement."""
+
+    platform: str = "PE1950"
+    mix: str = "W1"
+    policy: str = "bw"
+    copies: int = 2
+    time_slice_s: float | None = None
+    ambient_override_c: float | None = None
+    amb_tdp_c: float | None = None
+    base_frequency_level: int = 0
+
+    def key(self) -> str:
+        """Stable hash key of this spec."""
+        payload = json.dumps(self.__dict__, sort_keys=True, default=str)
+        digest = hashlib.sha256(f"{CACHE_VERSION}|ch5|{payload}".encode()).hexdigest()
+        return f"ch5-{digest[:20]}"
+
+
+def _platform_for(spec: Chapter5Spec) -> ServerPlatform:
+    base = {"PE1950": PE1950, "SR1500AL": SR1500AL}.get(spec.platform)
+    if base is None:
+        raise ConfigurationError(f"unknown platform {spec.platform!r}")
+    if spec.amb_tdp_c is not None:
+        return base.with_levels(base.levels.with_amb_tdp(spec.amb_tdp_c))
+    return base
+
+
+def make_chapter5_policy(name: str, platform: ServerPlatform) -> DTMPolicy:
+    """Construct a Chapter 5 policy by short name (min one core/socket)."""
+    if name == "no-limit":
+        return NoLimitPolicy(cores=platform.total_cores)
+    if name == "bw":
+        return DTMBW(platform.levels, cores=platform.total_cores)
+    if name == "acg":
+        return DTMACG(platform.levels, cores=platform.total_cores, min_active=2)
+    if name == "cdvfs":
+        return DTMCDVFS(platform.levels, cores=platform.total_cores, stopped_level=4)
+    if name == "comb":
+        return DTMCOMB(platform.levels, cores=platform.total_cores, min_active=2)
+    raise ConfigurationError(f"unknown Chapter 5 policy {name!r}")
+
+
+def run_chapter5(spec: Chapter5Spec) -> ServerRunResult:
+    """Run (or recall) one Chapter 5 experiment."""
+    key = spec.key()
+    cached = _ch5_memo.get(key)
+    if cached is not None:
+        return cached
+    disk = _load_disk(key, _server_result_from_dict)
+    if disk is not None:
+        _ch5_memo[key] = disk
+        return disk
+    platform = _platform_for(spec)
+    model_key = f"{spec.platform}|{spec.amb_tdp_c}"
+    model = _server_models.get(model_key)
+    if model is None:
+        model = ServerWindowModel(platform)
+        _server_models[model_key] = model
+    policy = make_chapter5_policy(spec.policy, platform)
+    simulator = ServerSimulator(
+        platform,
+        policy,
+        spec.mix,
+        copies=spec.copies,
+        time_slice_s=spec.time_slice_s,
+        ambient_override_c=spec.ambient_override_c,
+        window_model=model,
+        base_frequency_level=spec.base_frequency_level,
+    )
+    result = simulator.run()
+    _ch5_memo[key] = result
+    _store_disk(key, _server_result_to_dict(result))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Disk cache plumbing
+# ---------------------------------------------------------------------------
+
+
+def _trace_to_dict(trace: TemperatureTrace) -> dict:
+    return {
+        "times_s": trace.times_s,
+        "amb_c": trace.amb_c,
+        "dram_c": trace.dram_c,
+        "ambient_c": trace.ambient_c,
+    }
+
+
+def _trace_from_dict(raw: dict) -> TemperatureTrace:
+    trace = TemperatureTrace()
+    for t, a, d, amb in zip(
+        raw.get("times_s", []),
+        raw.get("amb_c", []),
+        raw.get("dram_c", []),
+        raw.get("ambient_c", []),
+    ):
+        trace.append(t, a, d, amb)
+    return trace
+
+
+def _run_result_to_dict(result: RunResult) -> dict:
+    payload = {k: v for k, v in result.__dict__.items() if k != "trace"}
+    payload["trace"] = _trace_to_dict(result.trace)
+    return payload
+
+
+def _run_result_from_dict(raw: dict) -> RunResult:
+    trace = _trace_from_dict(raw.pop("trace", {}))
+    return RunResult(trace=trace, **raw)
+
+
+def _server_result_to_dict(result: ServerRunResult) -> dict:
+    payload = {k: v for k, v in result.__dict__.items() if k != "trace"}
+    payload["trace"] = _trace_to_dict(result.trace)
+    return payload
+
+
+def _server_result_from_dict(raw: dict) -> ServerRunResult:
+    trace = _trace_from_dict(raw.pop("trace", {}))
+    return ServerRunResult(trace=trace, **raw)
+
+
+def _load_disk(key: str, decode):
+    if not _disk_cache_enabled():
+        return None
+    path = CACHE_DIR / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with path.open() as handle:
+            return decode(json.load(handle))
+    except (OSError, ValueError, TypeError):
+        return None
+
+
+def _store_disk(key: str, payload: dict) -> None:
+    if not _disk_cache_enabled():
+        return
+    try:
+        CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        path = CACHE_DIR / f"{key}.json"
+        with path.open("w") as handle:
+            json.dump(payload, handle)
+    except OSError:
+        pass

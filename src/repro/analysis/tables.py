@@ -1,0 +1,68 @@
+"""Fixed-width table and sparkline rendering for terminal output."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats format with ``float_format``; everything else with ``str``.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header width")
+    rendered = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """A one-line unicode sparkline of a series (downsampled to ``width``)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def format_series(
+    label: str, values: list[float], low: float | None = None, high: float | None = None
+) -> str:
+    """Label + min/max annotation + sparkline, for temperature traces."""
+    if not values:
+        return f"{label}: (empty)"
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    return f"{label}: [{lo:7.2f} .. {hi:7.2f}] {sparkline(values)}"

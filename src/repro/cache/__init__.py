@@ -1,0 +1,26 @@
+"""Shared-cache substrate.
+
+DTM-ACG's headline effect — gating cores cuts L2 contention, which cuts
+memory traffic ~17% (§4.4.2) — flows entirely through the shared cache.
+This package provides:
+
+- :mod:`repro.cache.setassoc` — a real LRU set-associative cache
+  simulator, used by tests and by the model-validation benches.
+- :mod:`repro.cache.mrc` — miss-ratio curves: parametric curves and
+  curves measured from the simulator.
+- :mod:`repro.cache.sharing` — the multi-program contention model: an
+  insertion-rate-proportional occupancy fixed point that predicts each
+  co-runner's effective cache share.
+"""
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.mrc import MissRatioCurve, measured_mrc
+from repro.cache.sharing import SharedCacheModel, CacheClient
+
+__all__ = [
+    "SetAssociativeCache",
+    "MissRatioCurve",
+    "measured_mrc",
+    "SharedCacheModel",
+    "CacheClient",
+]

@@ -1,0 +1,82 @@
+"""Miss-ratio curves (MRCs).
+
+An application's L2 behaviour is summarized by its miss ratio as a
+function of the cache capacity it effectively owns.  The analytic window
+model evaluates these curves at the shares predicted by the contention
+model; the synthetic SPEC-like profiles use the parametric form below,
+and :func:`measured_mrc` extracts real curves from the LRU simulator for
+validation.
+
+The parametric form is a shifted power law with a compulsory-miss floor:
+
+``m(c) = m_floor + (m_peak - m_floor) / (1 + (c / c_half)^alpha)``
+
+- ``m_peak``: miss ratio with a tiny cache (capacity -> 0).
+- ``m_floor``: compulsory/streaming miss ratio that no capacity removes.
+- ``c_half``: capacity at which the capacity-miss component halves.
+- ``alpha``: sharpness of the working-set knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """Parametric miss-ratio curve of one application."""
+
+    m_peak: float
+    m_floor: float
+    c_half_bytes: float
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.m_floor <= self.m_peak <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= m_floor <= m_peak <= 1 "
+                f"(got floor={self.m_floor}, peak={self.m_peak})"
+            )
+        if self.c_half_bytes <= 0:
+            raise ConfigurationError("c_half must be positive")
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    def miss_ratio(self, capacity_bytes: float) -> float:
+        """Miss ratio with ``capacity_bytes`` of effective cache."""
+        if capacity_bytes <= 0:
+            return self.m_peak
+        scaled = (capacity_bytes / self.c_half_bytes) ** self.alpha
+        return self.m_floor + (self.m_peak - self.m_floor) / (1.0 + scaled)
+
+    def is_streaming(self, tolerance: float = 0.05) -> bool:
+        """Whether extra capacity barely helps (m_floor close to m_peak)."""
+        if self.m_peak == 0.0:
+            return True
+        return (self.m_peak - self.m_floor) / self.m_peak < tolerance
+
+
+def measured_mrc(
+    trace: list[int],
+    capacities_bytes: list[int],
+    ways: int = 8,
+    line_bytes: int = 64,
+) -> dict[int, float]:
+    """Measure the miss ratio of an address trace at several capacities.
+
+    Runs the LRU simulator once per capacity.  Used in tests to validate
+    that the parametric curves behave like real caches (monotone
+    non-increasing in capacity).
+    """
+    if not trace:
+        raise ConfigurationError("trace must be non-empty")
+    results: dict[int, float] = {}
+    for capacity in capacities_bytes:
+        cache = SetAssociativeCache(capacity, ways=ways, line_bytes=line_bytes)
+        for address in trace:
+            cache.access(address)
+        results[capacity] = cache.miss_ratio
+    return results

@@ -1,0 +1,114 @@
+"""An LRU set-associative cache simulator.
+
+Models the shared L2 of the simulated platform (4 MB, 8-way, 64 B lines,
+Table 4.1) and the Xeon 5160 L2 (4 MB, 16-way) of Chapter 5.  Used
+directly in tests and to *measure* miss-ratio curves that validate the
+parametric curves the analytic model uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class SetAssociativeCache:
+    """A classic LRU set-associative cache with per-set recency order.
+
+    Args:
+        capacity_bytes: total capacity.
+        ways: associativity.
+        line_bytes: line size.
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int, line_bytes: int = 64) -> None:
+        if capacity_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        if capacity_bytes % (ways * line_bytes) != 0:
+            raise ConfigurationError(
+                "capacity must be a multiple of ways * line size"
+            )
+        self._ways = ways
+        self._line_bytes = line_bytes
+        self._sets = capacity_bytes // (ways * line_bytes)
+        if not _is_power_of_two(self._sets):
+            raise ConfigurationError("number of sets must be a power of two")
+        # Each set is an OrderedDict tag -> dirty flag; order = recency
+        # (last entry is most recently used).
+        self._lines: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self._sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity."""
+        return self._sets * self._ways * self._line_bytes
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self._sets
+
+    @property
+    def ways(self) -> int:
+        """Associativity."""
+        return self._ways
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        A miss fills the line, evicting the LRU entry of the set; evicting
+        a dirty line counts a writeback (memory write traffic).
+        """
+        line = address // self._line_bytes
+        set_index = line % self._sets
+        tag = line // self._sets
+        entries = self._lines[set_index]
+        if tag in entries:
+            self.hits += 1
+            entries[tag] = entries[tag] or is_write
+            entries.move_to_end(tag)
+            return True
+        self.misses += 1
+        if len(entries) >= self._ways:
+            _, dirty = entries.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+        entries[tag] = is_write
+        return False
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses (0 when no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(entries) for entries in self._lines)
+
+    def reset_stats(self) -> None:
+        """Zero counters without flushing contents."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def flush(self) -> None:
+        """Invalidate every line and zero counters."""
+        for entries in self._lines:
+            entries.clear()
+        self.reset_stats()

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``simulate`` — run one (mix, policy, cooling) pair through the
+  two-level simulator and print the result summary.
+- ``server`` — run one (platform, mix, policy) measurement on a
+  Chapter 5 server model.
+- ``compare`` — run every Chapter 4 scheme on one mix and print the
+  normalized table (the Fig. 4.3 view).
+- ``homogeneous`` — the §5.4.1 warm-up experiment for one program.
+
+Examples::
+
+    python -m repro simulate --mix W1 --policy acg
+    python -m repro simulate --mix W2 --policy cdvfs+pid --cooling FDHS_1.0
+    python -m repro compare --mix W3 --copies 1
+    python -m repro server --platform SR1500AL --mix W1 --policy comb
+    python -m repro homogeneous --platform SR1500AL --app swim
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.experiments import (
+    CHAPTER4_POLICIES,
+    CHAPTER5_POLICIES,
+    make_chapter4_policy,
+    make_chapter5_policy,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.core.simulator import SimulationConfig, TwoLevelSimulator
+from repro.core.windowmodel import WindowModel
+from repro.params.thermal_params import (
+    COOLING_CONFIGS,
+    INTEGRATED_AMBIENT,
+    ISOLATED_AMBIENT,
+)
+from repro.testbed.platforms import PE1950, SR1500AL
+from repro.testbed.runner import ServerSimulator, run_homogeneous
+
+_PLATFORMS = {"PE1950": PE1950, "SR1500AL": SR1500AL}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal modeling and management of DRAM memory systems "
+        "(ISCA 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="one Chapter 4 simulation run")
+    simulate.add_argument("--mix", default="W1")
+    simulate.add_argument("--policy", default="acg", choices=CHAPTER4_POLICIES)
+    simulate.add_argument("--cooling", default="AOHS_1.5", choices=sorted(COOLING_CONFIGS))
+    simulate.add_argument("--ambient", default="isolated", choices=("isolated", "integrated"))
+    simulate.add_argument("--copies", type=int, default=2)
+
+    compare = sub.add_parser("compare", help="all Chapter 4 schemes on one mix")
+    compare.add_argument("--mix", default="W1")
+    compare.add_argument("--cooling", default="AOHS_1.5", choices=sorted(COOLING_CONFIGS))
+    compare.add_argument("--copies", type=int, default=2)
+
+    server = sub.add_parser("server", help="one Chapter 5 server measurement")
+    server.add_argument("--platform", default="PE1950", choices=sorted(_PLATFORMS))
+    server.add_argument("--mix", default="W1")
+    server.add_argument("--policy", default="acg", choices=CHAPTER5_POLICIES)
+    server.add_argument("--copies", type=int, default=2)
+
+    homogeneous = sub.add_parser("homogeneous", help="§5.4.1 warm-up experiment")
+    homogeneous.add_argument("--platform", default="SR1500AL", choices=sorted(_PLATFORMS))
+    homogeneous.add_argument("--app", default="swim")
+    homogeneous.add_argument("--duration", type=float, default=500.0)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    ambient = ISOLATED_AMBIENT if args.ambient == "isolated" else INTEGRATED_AMBIENT
+    config = SimulationConfig(
+        mix_name=args.mix,
+        copies=args.copies,
+        cooling=COOLING_CONFIGS[args.cooling],
+        ambient=ambient,
+    )
+    policy = make_chapter4_policy(args.policy)
+    result = TwoLevelSimulator(config, policy).run()
+    rows = [
+        ["runtime (s)", result.runtime_s],
+        ["traffic (TB)", result.traffic_bytes / 1e12],
+        ["L2 misses (G)", result.l2_misses / 1e9],
+        ["CPU energy (kJ)", result.cpu_energy_j / 1e3],
+        ["memory energy (kJ)", result.memory_energy_j / 1e3],
+        ["peak AMB (degC)", result.peak_amb_c],
+        ["peak DRAM (degC)", result.peak_dram_c],
+        ["shutdown fraction", result.shutdown_fraction],
+    ]
+    print(f"{policy.name} on {args.mix} @ {args.cooling} ({args.ambient} model):\n")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    window_model = WindowModel()
+    config = SimulationConfig(
+        mix_name=args.mix, copies=args.copies, cooling=COOLING_CONFIGS[args.cooling]
+    )
+    baseline = None
+    rows = []
+    for name in CHAPTER4_POLICIES:
+        policy = make_chapter4_policy(name)
+        result = TwoLevelSimulator(config, policy, window_model=window_model).run()
+        if baseline is None:
+            baseline = result
+        rows.append(
+            [policy.name,
+             result.runtime_s / baseline.runtime_s,
+             result.traffic_bytes / baseline.traffic_bytes,
+             result.cpu_energy_j / baseline.cpu_energy_j,
+             result.peak_amb_c]
+        )
+    print(f"{args.mix} @ {args.cooling}, normalized to No-limit:\n")
+    print(format_table(["scheme", "runtime", "traffic", "cpu E", "peak AMB"], rows))
+    return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    platform = _PLATFORMS[args.platform]
+    policy = make_chapter5_policy(args.policy, platform)
+    result = ServerSimulator(platform, policy, args.mix, copies=args.copies).run()
+    rows = [
+        ["runtime (s)", result.runtime_s],
+        ["L2 misses (G)", result.l2_misses / 1e9],
+        ["avg CPU power (W)", result.average_cpu_power_w],
+        ["mean inlet (degC)", result.mean_inlet_c],
+        ["peak AMB (degC)", result.peak_amb_c],
+    ]
+    print(f"{policy.name} on {args.mix} @ {platform.name}:\n")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_homogeneous(args: argparse.Namespace) -> int:
+    platform = _PLATFORMS[args.platform]
+    trace, _ = run_homogeneous(platform, args.app, duration_s=args.duration)
+    print(f"4x {args.app} on {platform.name}, {args.duration:.0f} s from idle:\n")
+    print(format_series("AMB", trace.amb_c))
+    crossed = next(
+        (t for t, a in zip(trace.times_s, trace.amb_c) if a >= 100.0), None
+    )
+    print(f"\nstart {trace.amb_c[0]:.1f} degC, max {max(trace.amb_c):.1f} degC, "
+          f"100 degC reached: {'never' if crossed is None else f'{crossed:.0f} s'}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "server": _cmd_server,
+        "homogeneous": _cmd_homogeneous,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,249 @@
+"""The two-level thermal simulator (Fig. 4.1).
+
+:class:`TwoLevelSimulator` wires together:
+
+- the batch-job scheduler (§4.3.2): N copies of each mix application,
+  refilled round-robin as jobs finish;
+- the level-1 window model: performance and memory throughput of the
+  currently-running applications under the current DTM control state;
+- MEMSpot (level 2): power and temperatures from that throughput;
+- the DTM policy: temperatures in, actuator state out, every DTM
+  interval (10 ms by default, Table 4.1), with a 25 us control overhead
+  charged per interval;
+- energy accounting for the processor (Table 4.4) and the FBDIMM.
+
+One :meth:`run` call simulates the full batch to completion — typically
+hundreds to thousands of simulated seconds — and returns a
+:class:`repro.core.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memspot import MemSpot
+from repro.core.results import RunResult, TemperatureTrace
+from repro.core.windowmodel import MemoryEnvelope, WindowModel
+from repro.cpu.power import simulated_chip_power_w
+from repro.dtm.base import DTMPolicy, ThermalReading
+from repro.errors import ConfigurationError, SimulationError
+from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
+from repro.params.power_params import ProcessorPowerTable, SIMULATED_CPU_POWER
+from repro.params.thermal_params import (
+    AmbientModelParams,
+    CoolingConfig,
+    AOHS_1_5,
+    ISOLATED_AMBIENT,
+)
+from repro.workloads.batch import BatchScheduler
+from repro.workloads.mixes import get_mix
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one two-level simulation run.
+
+    Defaults reproduce the Chapter 4 platform: four cores, AOHS_1.5
+    cooling, the isolated ambient model, Table 4.3 emergency levels and a
+    10 ms DTM interval with 25 us overhead.
+    """
+
+    mix_name: str = "W1"
+    #: Copies of each application in the batch (the paper uses 50; the
+    #: benchmark harness scales this down — shapes are scale-invariant).
+    copies: int = 2
+    cores: int = 4
+    cooling: CoolingConfig = AOHS_1_5
+    ambient: AmbientModelParams = ISOLATED_AMBIENT
+    levels: EmergencyLevels = SIMULATION_LEVELS
+    dtm_interval_s: float = 0.010
+    dtm_overhead_s: float = 25e-6
+    rotation_interval_s: float = 0.100
+    cpu_power: ProcessorPowerTable = SIMULATED_CPU_POWER
+    envelope: MemoryEnvelope = field(default_factory=MemoryEnvelope)
+    l2_capacity_bytes: float = 4 * 1024 * 1024
+    physical_channels: int = 4
+    dimms_per_channel: int = 4
+    record_trace: bool = True
+    trace_resolution_s: float = 1.0
+    max_sim_s: float = 500_000.0
+    #: Use the cache-aware batch refill policy (§6 future-work extension;
+    #: see :mod:`repro.workloads.scheduling`) instead of round-robin.
+    cache_aware_scheduling: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dtm_interval_s <= 0:
+            raise ConfigurationError("DTM interval must be positive")
+        if self.dtm_overhead_s < 0:
+            raise ConfigurationError("DTM overhead must be non-negative")
+        if self.dtm_overhead_s >= self.dtm_interval_s:
+            raise ConfigurationError("DTM overhead must be below the interval")
+        if self.copies < 1:
+            raise ConfigurationError("need at least one batch copy")
+
+
+class TwoLevelSimulator:
+    """Runs one (workload, policy) pair to batch completion."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: DTMPolicy,
+        window_model: WindowModel | None = None,
+    ) -> None:
+        self._config = config
+        self._policy = policy
+        self._mix = get_mix(config.mix_name)
+        self._window = window_model or WindowModel(
+            l2_capacity_bytes=config.l2_capacity_bytes,
+            max_frequency_hz=config.cpu_power.operating_points[0].frequency_hz,
+            envelope=config.envelope,
+        )
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The run configuration."""
+        return self._config
+
+    @property
+    def window_model(self) -> WindowModel:
+        """The level-1 model (shared across runs for memoization)."""
+        return self._window
+
+    def run(self) -> RunResult:
+        """Simulate the batch job to completion."""
+        cfg = self._config
+        self._policy.reset()
+        if cfg.cache_aware_scheduling:
+            from repro.workloads.scheduling import CacheAwareScheduler
+
+            scheduler: BatchScheduler = CacheAwareScheduler(
+                self._mix, cfg.copies, cfg.cores,
+                cache_capacity_bytes=cfg.l2_capacity_bytes,
+            )
+        else:
+            scheduler = BatchScheduler(self._mix, cfg.copies, cfg.cores)
+        memspot = MemSpot(
+            cooling=cfg.cooling,
+            ambient=cfg.ambient,
+            physical_channels=cfg.physical_channels,
+            dimms_per_channel=cfg.dimms_per_channel,
+        )
+        points = cfg.cpu_power.operating_points
+        stopped_level = len(points)
+        max_frequency = points[0].frequency_hz
+        dt = cfg.dtm_interval_s
+        overhead_factor = 1.0 - cfg.dtm_overhead_s / dt
+        top_level = cfg.levels.level_count - 1
+
+        now = 0.0
+        rotation = 0
+        since_rotation = 0.0
+        since_trace = float("inf")
+        traffic_bytes = 0.0
+        l2_misses = 0.0
+        instructions = 0.0
+        cpu_energy = 0.0
+        memory_energy = 0.0
+        ambient_time_integral = 0.0
+        peak_amb = -273.15
+        peak_dram = -273.15
+        shutdown_intervals = 0
+        total_intervals = 0
+        trace = TemperatureTrace()
+        sample = memspot.sample()
+
+        while not scheduler.done:
+            if now > cfg.max_sim_s:
+                raise SimulationError(
+                    f"batch did not finish within {cfg.max_sim_s} simulated seconds "
+                    f"({scheduler.finished_jobs}/{scheduler.total_jobs} jobs done)"
+                )
+            reading = ThermalReading(amb_c=sample.amb_c, dram_c=sample.dram_c)
+            decision = self._policy.decide(reading, dt)
+            total_intervals += 1
+            if not decision.memory_on or decision.emergency_level >= top_level:
+                shutdown_intervals += 1
+
+            since_rotation += dt
+            if since_rotation >= cfg.rotation_interval_s:
+                since_rotation = 0.0
+                rotation += 1
+
+            if decision.dvfs_level >= stopped_level:
+                frequency = 0.0
+                voltage = 0.0
+            else:
+                frequency = points[decision.dvfs_level].frequency_hz
+                voltage = points[decision.dvfs_level].voltage_v
+
+            occupied = scheduler.occupied_slots()
+            active_slots: list[int] = []
+            if decision.memory_on and frequency > 0.0 and decision.active_cores > 0:
+                if decision.active_cores >= len(occupied):
+                    active_slots = occupied
+                else:
+                    offset = rotation % len(occupied)
+                    rotated = occupied[offset:] + occupied[:offset]
+                    active_slots = sorted(rotated[: decision.active_cores])
+
+            heating_sum = 0.0
+            read_bps = 0.0
+            write_bps = 0.0
+            if active_slots:
+                slot_apps = scheduler.running_apps(active_slots)
+                ordered_slots = list(slot_apps)
+                result = self._window.evaluate(
+                    [slot_apps[slot] for slot in ordered_slots],
+                    frequency_hz=frequency,
+                    bandwidth_cap_bytes_per_s=decision.bandwidth_cap_bytes_per_s,
+                    memory_on=True,
+                )
+                progress = {}
+                for slot, slot_result in zip(ordered_slots, result.slots):
+                    advanced = slot_result.instructions_per_s * dt * overhead_factor
+                    progress[slot] = advanced
+                    instructions += advanced
+                    heating_sum += voltage * slot_result.instructions_per_s / max_frequency
+                scheduler.advance(progress)
+                read_bps = result.read_bytes_per_s
+                write_bps = result.write_bytes_per_s
+                traffic_bytes += result.total_bytes_per_s * dt
+                l2_misses += result.l2_misses_per_s * dt
+
+            sample = memspot.step(read_bps, write_bps, heating_sum, dt)
+            peak_amb = max(peak_amb, sample.amb_c)
+            peak_dram = max(peak_dram, sample.dram_c)
+            ambient_time_integral += sample.ambient_c * dt
+            memory_energy += sample.memory_power_w * dt
+            cpu_power = simulated_chip_power_w(
+                active_cores=len(active_slots),
+                dvfs_level=min(decision.dvfs_level, stopped_level),
+                memory_on=decision.memory_on,
+                table=cfg.cpu_power,
+            )
+            cpu_energy += cpu_power * dt
+
+            now += dt
+            since_trace += dt
+            if cfg.record_trace and since_trace >= cfg.trace_resolution_s:
+                since_trace = 0.0
+                trace.append(now, sample.amb_c, sample.dram_c, sample.ambient_c)
+
+        return RunResult(
+            workload=cfg.mix_name,
+            policy=self._policy.name,
+            cooling=cfg.cooling.name,
+            runtime_s=now,
+            traffic_bytes=traffic_bytes,
+            l2_misses=l2_misses,
+            instructions=instructions,
+            cpu_energy_j=cpu_energy,
+            memory_energy_j=memory_energy,
+            mean_ambient_c=ambient_time_integral / now if now > 0 else 0.0,
+            peak_amb_c=peak_amb,
+            peak_dram_c=peak_dram,
+            shutdown_fraction=shutdown_intervals / max(1, total_intervals),
+            finished_jobs=scheduler.finished_jobs,
+            trace=trace,
+        )

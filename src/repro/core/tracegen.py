@@ -1,0 +1,148 @@
+"""Level-1 trace generation over the DTM design space (§4.3.1).
+
+The paper's first-level simulator produces, ahead of time, performance
+and memory-throughput traces for "all possible running combinations of
+workloads under each DTM design choice" — the set W_i x D fed to the
+second-level simulator.  :class:`TraceLibrary` materializes that product
+for a workload mix: every subset of co-running applications crossed with
+every DTM actuator state, each entry carrying the 10 ms-window
+performance and throughput figures.
+
+The in-loop simulator does not *need* the library (its window model is
+memoized on demand), but the library makes the two-level structure
+explicit, drives the design-space benches and lets a user export the
+traces for external tools.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.windowmodel import WindowModel, WindowResult
+from repro.errors import ConfigurationError
+from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
+from repro.params.power_params import ProcessorPowerTable, SIMULATED_CPU_POWER
+from repro.workloads.mixes import WorkloadMix
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One DTM actuator state in the explored design space D."""
+
+    active_cores: int
+    dvfs_level: int
+    bandwidth_cap_bytes_per_s: float | None
+
+    def __post_init__(self) -> None:
+        if self.active_cores < 0 or self.dvfs_level < 0:
+            raise ConfigurationError("design point fields must be non-negative")
+
+
+def design_space(
+    levels: EmergencyLevels | None = None,
+    cpu_power: ProcessorPowerTable | None = None,
+) -> list[DesignPoint]:
+    """The design space implied by an emergency table's control ladders."""
+    table = levels if levels is not None else SIMULATION_LEVELS
+    cpu = cpu_power if cpu_power is not None else SIMULATED_CPU_POWER
+    core_counts = sorted(set(table.acg_active_cores), reverse=True)
+    dvfs_levels = sorted(set(table.cdvfs_levels))
+    caps = []
+    for cap in table.bw_caps_bytes_per_s:
+        if cap not in caps:
+            caps.append(cap)
+    points = []
+    for cores, dvfs, cap in itertools.product(core_counts, dvfs_levels, caps):
+        if dvfs > len(cpu.operating_points):
+            continue
+        points.append(
+            DesignPoint(
+                active_cores=cores,
+                dvfs_level=dvfs,
+                bandwidth_cap_bytes_per_s=cap,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One (running set, design point) trace record."""
+
+    app_names: tuple[str, ...]
+    point: DesignPoint
+    result: WindowResult
+
+    def summary(self) -> dict:
+        """A plain-dict export of the entry (for serialization)."""
+        return {
+            "apps": list(self.app_names),
+            "active_cores": self.point.active_cores,
+            "dvfs_level": self.point.dvfs_level,
+            "bandwidth_cap_bytes_per_s": self.point.bandwidth_cap_bytes_per_s,
+            "instructions_per_s": self.result.instructions_per_s,
+            "read_bytes_per_s": self.result.read_bytes_per_s,
+            "write_bytes_per_s": self.result.write_bytes_per_s,
+            "l2_misses_per_s": self.result.l2_misses_per_s,
+            "utilization": self.result.utilization,
+            "latency_s": self.result.latency_s,
+        }
+
+
+class TraceLibrary:
+    """The W x D trace product for one workload mix."""
+
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        window_model: WindowModel | None = None,
+        cpu_power: ProcessorPowerTable | None = None,
+    ) -> None:
+        self._mix = mix
+        self._cpu = cpu_power if cpu_power is not None else SIMULATED_CPU_POWER
+        self._window = window_model if window_model is not None else WindowModel()
+
+    def generate(self, points: list[DesignPoint] | None = None) -> list[TraceEntry]:
+        """Materialize trace entries for every running subset x point.
+
+        Running subsets are the combinations of mix applications that can
+        co-run under core gating (size 1..len(mix)); the stopped state
+        (0 cores or DVFS-stopped) contributes a zero entry once.
+        """
+        if points is None:
+            points = design_space(cpu_power=self._cpu)
+        apps = self._mix.apps
+        operating_points = self._cpu.operating_points
+        entries: list[TraceEntry] = []
+        for point in points:
+            stopped = (
+                point.active_cores == 0
+                or point.dvfs_level >= len(operating_points)
+                or (
+                    point.bandwidth_cap_bytes_per_s is not None
+                    and point.bandwidth_cap_bytes_per_s <= 0
+                )
+            )
+            if stopped:
+                result = self._window.evaluate([], 0.0, memory_on=False)
+                entries.append(TraceEntry((), point, result))
+                continue
+            frequency = operating_points[point.dvfs_level].frequency_hz
+            size = min(point.active_cores, len(apps))
+            for subset in itertools.combinations(range(len(apps)), size):
+                running = [apps[i] for i in subset]
+                result = self._window.evaluate(
+                    running,
+                    frequency_hz=frequency,
+                    bandwidth_cap_bytes_per_s=point.bandwidth_cap_bytes_per_s,
+                    memory_on=True,
+                )
+                entries.append(
+                    TraceEntry(tuple(a.name for a in running), point, result)
+                )
+        return entries
+
+    def export(self, points: list[DesignPoint] | None = None) -> list[dict]:
+        """Plain-dict export of the full library."""
+        return [entry.summary() for entry in self.generate(points)]

@@ -1,0 +1,377 @@
+"""Level-1 analytic performance model, evaluated per 10 ms window.
+
+The paper's first-level simulator runs cycle-accurate M5 once per
+(workload, design point) to produce windowed performance / throughput
+traces (§4.3.1).  We replace the cycle-accurate run with an analytic
+multicore model whose outputs live in exactly the same vocabulary —
+per-window instructions retired and read/write memory throughput — built
+from first-order architecture relations:
+
+1. **Shared cache contention** — each co-runner's effective L2 share and
+   miss ratio come from the insertion-rate fixed point of
+   :class:`repro.cache.sharing.SharedCacheModel`.
+2. **Memory latency under load** — an M/D/1-flavored queueing curve over
+   the channel utilization, calibrated against the cycle-level FBDIMM
+   simulator (:mod:`repro.core.calibration`).
+3. **Core IPC** — ``1 / (CPI_base + MPI * L_cycles / MLP)``: misses
+   overlap by the application's memory-level parallelism.
+4. **Speculative traffic** — a frequency-proportional surcharge, which is
+   why DVFS trims total traffic by a few percent (§4.4.2).
+
+The fixed point couples 1–3 (shares depend on access rates, rates on
+IPC, IPC on latency, latency on total demand) and converges in a handful
+of damped iterations.  Results are memoized: within a batch run the
+(running apps, control state) pair recurs for thousands of windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.sharing import CacheClient, SharedCacheModel
+from repro.errors import ConfigurationError
+from repro.units import CACHE_LINE_BYTES
+from repro.workloads.profiles import AppProfile
+
+
+@dataclass(frozen=True)
+class MemoryEnvelope:
+    """The memory system's latency/bandwidth envelope seen by the cores.
+
+    Defaults match the Table 4.1 platform (4 physical channels of
+    FBDIMM-DDR2-667) as calibrated by the cycle-level simulator: ~65 ns
+    unloaded latency, and a combined read+write peak of 25.6 GB/s —
+    northbound-limited reads (4 x 5.33 GB/s, matching §2.2's "21 GB/s"
+    figure) plus extra southbound write capacity (§3.2: "the overall
+    bandwidth of a FBDIMM channel is higher than that of a DDR2 channel
+    because the write bandwidth is extra"; Table 4.4 lists 25.6 GB/s as
+    DTM-BW's unthrottled operating point).
+    """
+
+    idle_latency_s: float = 65e-9
+    peak_bandwidth_bytes_per_s: float = 25.6e9
+    #: Queueing-delay coefficient of the latency curve.
+    queue_coefficient: float = 0.35
+    #: Utilization ceiling; the fixed point settles just below it.
+    rho_max: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.idle_latency_s <= 0 or self.peak_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("envelope values must be positive")
+        if not 0.0 < self.rho_max < 1.0:
+            raise ConfigurationError("rho_max must be within (0, 1)")
+
+    def latency_s(self, utilization: float) -> float:
+        """Loaded memory latency at a given channel utilization."""
+        rho = min(max(utilization, 0.0), self.rho_max)
+        queueing = self.queue_coefficient * rho**4 / (1.0 - rho)
+        return self.idle_latency_s * (1.0 + queueing)
+
+
+@dataclass(frozen=True)
+class SlotResult:
+    """Per-core-slot outputs of one window evaluation."""
+
+    app_name: str
+    instructions_per_s: float
+    ipc: float
+    l2_accesses_per_s: float
+    l2_misses_per_s: float
+    read_bytes_per_s: float
+    write_bytes_per_s: float
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Aggregate outputs of one window evaluation."""
+
+    slots: tuple[SlotResult, ...]
+    read_bytes_per_s: float
+    write_bytes_per_s: float
+    utilization: float
+    latency_s: float
+
+    @property
+    def total_bytes_per_s(self) -> float:
+        """Read + write throughput."""
+        return self.read_bytes_per_s + self.write_bytes_per_s
+
+    @property
+    def instructions_per_s(self) -> float:
+        """Aggregate instruction rate across slots."""
+        return sum(slot.instructions_per_s for slot in self.slots)
+
+    @property
+    def l2_misses_per_s(self) -> float:
+        """Aggregate L2 miss rate."""
+        return sum(slot.l2_misses_per_s for slot in self.slots)
+
+
+#: Idle window: nothing running (or memory off).
+def _idle_result(app_names: tuple[str, ...]) -> WindowResult:
+    slots = tuple(
+        SlotResult(
+            app_name=name,
+            instructions_per_s=0.0,
+            ipc=0.0,
+            l2_accesses_per_s=0.0,
+            l2_misses_per_s=0.0,
+            read_bytes_per_s=0.0,
+            write_bytes_per_s=0.0,
+        )
+        for name in app_names
+    )
+    return WindowResult(
+        slots=slots,
+        read_bytes_per_s=0.0,
+        write_bytes_per_s=0.0,
+        utilization=0.0,
+        latency_s=0.0,
+    )
+
+
+class WindowModel:
+    """Evaluates one control state for one set of co-running applications.
+
+    Args:
+        l2_capacity_bytes: shared L2 size.
+        max_frequency_hz: the platform's top core frequency (reference
+            cycles for the ambient model use this).
+        envelope: the memory latency/bandwidth envelope.
+        iterations: fixed-point iterations.
+        memoize: cache results by (apps, control state).  The evaluation
+            is deterministic, so this is exact, and it is what makes
+            thousand-second batch runs fast.
+    """
+
+    def __init__(
+        self,
+        l2_capacity_bytes: float = 4 * 1024 * 1024,
+        max_frequency_hz: float = 3.2e9,
+        envelope: MemoryEnvelope | None = None,
+        iterations: int = 24,
+        memoize: bool = True,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError("need at least one iteration")
+        self._l2_capacity = l2_capacity_bytes
+        self._max_frequency_hz = max_frequency_hz
+        self._envelope = envelope if envelope is not None else MemoryEnvelope()
+        self._iterations = iterations
+        self._memoize = memoize
+        self._cache: dict[tuple, WindowResult] = {}
+        self._cache_model = SharedCacheModel(l2_capacity_bytes)
+
+    @property
+    def envelope(self) -> MemoryEnvelope:
+        """The memory envelope in use."""
+        return self._envelope
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """The top core frequency."""
+        return self._max_frequency_hz
+
+    @property
+    def cache_entries(self) -> int:
+        """Number of memoized window evaluations (for tests)."""
+        return len(self._cache)
+
+    def evaluate(
+        self,
+        apps: list[AppProfile],
+        frequency_hz: float,
+        bandwidth_cap_bytes_per_s: float | None = None,
+        memory_on: bool = True,
+        cache_capacity_override_bytes: float | None = None,
+    ) -> WindowResult:
+        """Evaluate one window.
+
+        Args:
+            apps: the applications running this window (one per active
+                core slot; duplicates allowed).
+            frequency_hz: current core frequency.
+            bandwidth_cap_bytes_per_s: DTM-BW traffic ceiling (None = no
+                cap; 0 behaves as memory off).
+            memory_on: False models thermal shutdown — every core stalls
+                on its first miss, so progress and traffic are zero.
+            cache_capacity_override_bytes: per-call L2 capacity override
+                (the Chapter 5 servers have one L2 per socket).
+
+        Returns:
+            The window's :class:`WindowResult`.
+        """
+        names = tuple(app.name for app in apps)
+        off = (
+            not memory_on
+            or frequency_hz <= 0.0
+            or not apps
+            or (bandwidth_cap_bytes_per_s is not None and bandwidth_cap_bytes_per_s <= 0.0)
+        )
+        if off:
+            return _idle_result(names)
+        key = None
+        if self._memoize:
+            key = (
+                tuple(sorted(names)),
+                round(frequency_hz),
+                None
+                if bandwidth_cap_bytes_per_s is None
+                else round(bandwidth_cap_bytes_per_s),
+                cache_capacity_override_bytes,
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                return self._reorder(cached, names)
+        result = self._solve(
+            apps, frequency_hz, bandwidth_cap_bytes_per_s, cache_capacity_override_bytes
+        )
+        if key is not None:
+            self._cache[key] = result
+        return self._reorder(result, names)
+
+    @staticmethod
+    def _reorder(result: WindowResult, names: tuple[str, ...]) -> WindowResult:
+        """Return a result whose slots follow the caller's app order."""
+        current = tuple(slot.app_name for slot in result.slots)
+        if current == names:
+            return result
+        pool: dict[str, list[SlotResult]] = {}
+        for slot in result.slots:
+            pool.setdefault(slot.app_name, []).append(slot)
+        ordered = tuple(pool[name].pop() for name in names)
+        return WindowResult(
+            slots=ordered,
+            read_bytes_per_s=result.read_bytes_per_s,
+            write_bytes_per_s=result.write_bytes_per_s,
+            utilization=result.utilization,
+            latency_s=result.latency_s,
+        )
+
+    def _rates_at_latency(
+        self,
+        apps: list[AppProfile],
+        frequency_hz: float,
+        latency_s: float,
+        cache_model: SharedCacheModel,
+        frequency_scale: float,
+    ) -> tuple[list[float], list[float], float]:
+        """IPC and miss ratios at a fixed memory latency.
+
+        With the latency pinned, the only remaining coupling is between
+        cache shares and access rates, which converges quickly under
+        damping.  Returns (ipc, miss_ratio, total demand in bytes/s).
+        """
+        count = len(apps)
+        ipc = [1.0 / app.cpi_base for app in apps]
+        miss_ratio = [app.mrc.miss_ratio(cache_model.capacity_bytes / count) for app in apps]
+        latency_cycles = latency_s * frequency_hz
+        for _ in range(8):
+            clients = [
+                CacheClient(
+                    name=f"{app.name}#{index}",
+                    access_rate_per_s=frequency_hz * ipc[index] * app.apki / 1000.0,
+                    mrc=app.mrc,
+                )
+                for index, app in enumerate(apps)
+            ]
+            shares = cache_model.solve(clients)
+            miss_ratio = [share.miss_ratio for share in shares]
+            for index, app in enumerate(apps):
+                mpi = app.apki / 1000.0 * miss_ratio[index]
+                stall_cpi = mpi * latency_cycles / app.mlp
+                target_ipc = 1.0 / (app.cpi_base + stall_cpi)
+                ipc[index] += (target_ipc - ipc[index]) * 0.6
+        demand = 0.0
+        for index, app in enumerate(apps):
+            mpi = app.apki / 1000.0 * miss_ratio[index]
+            spec = 1.0 + app.spec_traffic_frac * frequency_scale
+            bytes_per_instr = mpi * CACHE_LINE_BYTES * (spec + app.write_frac)
+            demand += frequency_hz * ipc[index] * bytes_per_instr
+        return ipc, miss_ratio, demand
+
+    def _solve(
+        self,
+        apps: list[AppProfile],
+        frequency_hz: float,
+        cap: float | None,
+        cache_override: float | None,
+    ) -> WindowResult:
+        """Bisection on channel utilization (see module docstring).
+
+        ``demand(L(u))`` decreases in u while served capacity ``u * B``
+        increases, so the operating point is the unique crossing.  When
+        demand exceeds capacity even at the saturated latency (tight
+        caps), all rates scale down uniformly — admission control at the
+        memory controller.
+        """
+        envelope = self._envelope
+        effective_peak = envelope.peak_bandwidth_bytes_per_s
+        if cap is not None:
+            effective_peak = min(effective_peak, cap)
+        frequency_scale = frequency_hz / self._max_frequency_hz
+        cache_model = (
+            self._cache_model
+            if cache_override is None
+            else SharedCacheModel(cache_override)
+        )
+        rho_max = envelope.rho_max
+        scale = 1.0
+        ipc, miss_ratio, demand = self._rates_at_latency(
+            apps, frequency_hz, envelope.latency_s(rho_max), cache_model, frequency_scale
+        )
+        if demand >= rho_max * effective_peak:
+            utilization = rho_max
+            latency = envelope.latency_s(rho_max)
+            if demand > 0:
+                scale = rho_max * effective_peak / demand
+        else:
+            lo, hi = 0.0, rho_max
+            for _ in range(self._iterations):
+                mid = (lo + hi) / 2.0
+                _, _, demand_mid = self._rates_at_latency(
+                    apps, frequency_hz, envelope.latency_s(mid), cache_model, frequency_scale
+                )
+                if demand_mid > mid * effective_peak:
+                    lo = mid
+                else:
+                    hi = mid
+            utilization = (lo + hi) / 2.0
+            latency = envelope.latency_s(utilization)
+            ipc, miss_ratio, _ = self._rates_at_latency(
+                apps, frequency_hz, latency, cache_model, frequency_scale
+            )
+        slots = []
+        total_read = 0.0
+        total_write = 0.0
+        for index, app in enumerate(apps):
+            ips = frequency_hz * ipc[index] * scale
+            accesses = ips * app.apki / 1000.0
+            misses = accesses * miss_ratio[index]
+            spec = 1.0 + app.spec_traffic_frac * frequency_scale
+            read_bps = misses * CACHE_LINE_BYTES * spec
+            write_bps = misses * CACHE_LINE_BYTES * app.write_frac
+            total_read += read_bps
+            total_write += write_bps
+            slots.append(
+                SlotResult(
+                    app_name=app.name,
+                    instructions_per_s=ips,
+                    ipc=ipc[index] * scale,
+                    l2_accesses_per_s=accesses,
+                    l2_misses_per_s=misses,
+                    read_bytes_per_s=read_bps,
+                    write_bytes_per_s=write_bps,
+                )
+            )
+        return WindowResult(
+            slots=tuple(slots),
+            read_bytes_per_s=total_read,
+            write_bytes_per_s=total_write,
+            utilization=min(utilization, 1.0),
+            latency_s=latency,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop memoized results (e.g. after changing the envelope)."""
+        self._cache.clear()

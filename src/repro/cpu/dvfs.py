@@ -1,0 +1,76 @@
+"""The DVFS operating-point ladder.
+
+DTM-CDVFS scales the frequency and voltage of *all* cores together
+(§4.2.2); the ladder tracks the current position and exposes the scaling
+factors the performance and power models need.  Position ``len(points)``
+is the fully-stopped state used at the highest thermal emergency level.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.params.power_params import DVFSOperatingPoint
+
+
+class DVFSLadder:
+    """Ordered DVFS operating points, fastest first, plus a stopped state."""
+
+    def __init__(self, points: tuple[DVFSOperatingPoint, ...]) -> None:
+        if not points:
+            raise ConfigurationError("ladder needs at least one operating point")
+        frequencies = [p.frequency_hz for p in points]
+        if frequencies != sorted(frequencies, reverse=True):
+            raise ConfigurationError("operating points must be fastest-first")
+        self._points = points
+        self._level = 0
+
+    @property
+    def points(self) -> tuple[DVFSOperatingPoint, ...]:
+        """The ladder's operating points."""
+        return self._points
+
+    @property
+    def level(self) -> int:
+        """Current ladder position (0 = fastest, len(points) = stopped)."""
+        return self._level
+
+    @property
+    def stopped_level(self) -> int:
+        """The ladder position denoting all cores stopped."""
+        return len(self._points)
+
+    @property
+    def is_stopped(self) -> bool:
+        """Whether the chip is in the stopped state."""
+        return self._level == self.stopped_level
+
+    def set_level(self, level: int) -> None:
+        """Move to a ladder position (``stopped_level`` allowed)."""
+        if not 0 <= level <= self.stopped_level:
+            raise ConfigurationError(
+                f"DVFS level must be within [0, {self.stopped_level}], got {level}"
+            )
+        self._level = level
+
+    @property
+    def frequency_hz(self) -> float:
+        """Current core frequency (0 when stopped)."""
+        if self.is_stopped:
+            return 0.0
+        return self._points[self._level].frequency_hz
+
+    @property
+    def voltage_v(self) -> float:
+        """Current supply voltage (0 when stopped)."""
+        if self.is_stopped:
+            return 0.0
+        return self._points[self._level].voltage_v
+
+    @property
+    def frequency_scale(self) -> float:
+        """Current frequency relative to the top operating point."""
+        return self.frequency_hz / self._points[0].frequency_hz
+
+    def reset(self) -> None:
+        """Return to the top operating point."""
+        self._level = 0

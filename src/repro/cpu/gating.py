@@ -1,0 +1,93 @@
+"""Core-gating state with round-robin fairness.
+
+DTM-ACG clock-gates 1..N cores according to the thermal emergency level;
+"to ensure fairness among benchmarks running on different cores, the
+cores can be shut down in a round-robin manner" (§4.2.2).  The gating
+state tracks which cores run and rotates the victim set each time it is
+asked to, so no benchmark is starved.
+
+Chapter 5 adds a platform constraint: on the Linux servers the first core
+of the first processor can never be disabled (§5.2.1), expressed here as
+``protected_cores``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class CoreGating:
+    """Which cores are running, with rotation for fairness."""
+
+    def __init__(self, cores: int, protected_cores: frozenset[int] = frozenset()) -> None:
+        if cores < 1:
+            raise ConfigurationError("need at least one core")
+        bad = [c for c in protected_cores if not 0 <= c < cores]
+        if bad:
+            raise ConfigurationError(f"protected core ids out of range: {bad}")
+        self._cores = cores
+        self._protected = frozenset(protected_cores)
+        self._active_count = cores
+        self._rotation = 0
+
+    @property
+    def cores(self) -> int:
+        """Total core count."""
+        return self._cores
+
+    @property
+    def active_count(self) -> int:
+        """Number of cores currently running."""
+        return self._active_count
+
+    @property
+    def min_active(self) -> int:
+        """Smallest legal active count (protected cores can't be gated)."""
+        return max(len(self._protected), 0)
+
+    def set_active_count(self, count: int) -> None:
+        """Gate or ungate cores so that ``count`` remain running.
+
+        A count below the number of protected cores is clamped up to it,
+        except that zero remains zero on platforms with no protection
+        (the simulated platform may stop every core at emergency L5).
+        """
+        if not 0 <= count <= self._cores:
+            raise ConfigurationError(
+                f"active count must be within [0, {self._cores}], got {count}"
+            )
+        if self._protected and count < len(self._protected):
+            count = len(self._protected)
+        self._active_count = count
+
+    def rotate(self) -> None:
+        """Advance the round-robin victim rotation by one position."""
+        self._rotation = (self._rotation + 1) % self._cores
+
+    def active_cores(self) -> list[int]:
+        """The core ids currently running.
+
+        Protected cores always run; the remaining slots are filled in
+        rotation order so gating victims cycle over time.
+        """
+        if self._active_count >= self._cores:
+            return list(range(self._cores))
+        chosen: list[int] = sorted(self._protected)[: self._active_count]
+        candidates = [c for c in range(self._cores) if c not in self._protected]
+        # Rotate the candidate order so victims change over time.
+        offset = self._rotation % max(1, len(candidates)) if candidates else 0
+        rotated = candidates[offset:] + candidates[:offset]
+        for core in rotated:
+            if len(chosen) >= self._active_count:
+                break
+            chosen.append(core)
+        return sorted(chosen)
+
+    def is_active(self, core: int) -> bool:
+        """Whether a specific core is running."""
+        return core in self.active_cores()
+
+    def reset(self) -> None:
+        """All cores running, rotation cleared."""
+        self._active_count = self._cores
+        self._rotation = 0

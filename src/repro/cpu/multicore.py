@@ -1,0 +1,70 @@
+"""The multicore chip facade: gating plus DVFS in one object.
+
+DTM policies manipulate this object; the window model reads it to decide
+how many programs run and how fast; the power models read it to price the
+chip's consumption.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.dvfs import DVFSLadder
+from repro.cpu.gating import CoreGating
+from repro.params.power_params import DVFSOperatingPoint
+
+
+class MulticoreChip:
+    """Controllable chip state: core count, gating, DVFS ladder.
+
+    Args:
+        cores: number of cores.
+        operating_points: DVFS ladder, fastest first.
+        protected_cores: cores that can never be gated (Chapter 5 servers
+            protect core 0).
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        operating_points: tuple[DVFSOperatingPoint, ...],
+        protected_cores: frozenset[int] = frozenset(),
+    ) -> None:
+        self.gating = CoreGating(cores, protected_cores)
+        self.dvfs = DVFSLadder(operating_points)
+        self._memory_on = True
+
+    @property
+    def cores(self) -> int:
+        """Total core count."""
+        return self.gating.cores
+
+    @property
+    def memory_on(self) -> bool:
+        """Whether memory accesses are enabled (DTM-TS / emergency L5 off)."""
+        return self._memory_on
+
+    def set_memory_on(self, on: bool) -> None:
+        """Enable or disable all memory accesses (thermal shutdown)."""
+        self._memory_on = on
+
+    @property
+    def running_cores(self) -> list[int]:
+        """Core ids that execute this interval (empty when DVFS-stopped)."""
+        if self.dvfs.is_stopped:
+            return []
+        return self.gating.active_cores()
+
+    @property
+    def frequency_hz(self) -> float:
+        """Current core frequency."""
+        return self.dvfs.frequency_hz
+
+    @property
+    def voltage_v(self) -> float:
+        """Current supply voltage."""
+        return self.dvfs.voltage_v
+
+    def reset(self) -> None:
+        """Full speed, all cores, memory on."""
+        self.gating.reset()
+        self.dvfs.reset()
+        self._memory_on = True

@@ -1,0 +1,123 @@
+"""Physical address decomposition for the FBDIMM memory system.
+
+The mapping is the close-page-friendly interleaving the paper implies:
+consecutive cache lines rotate across physical channels first, then DIMMs,
+then banks, so streaming traffic spreads evenly over every bank in the
+system and the row buffer hit rate is irrelevant (close page + auto
+precharge makes it zero anyway, §3.3).
+
+Layout of a line-aligned physical address, from least significant:
+
+``| line offset | channel | dimm | bank | column group | row |``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """The (channel, dimm, bank, row, column) coordinates of one line."""
+
+    channel: int
+    dimm: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapper:
+    """Decomposes line addresses into channel/DIMM/bank/row/column fields.
+
+    Args:
+        channels: physical channels (power of two).
+        dimms_per_channel: DIMMs per channel (power of two).
+        banks_per_dimm: banks per DIMM (power of two).
+        rows: rows per bank (power of two).
+        columns: line-sized column groups per row (power of two).
+        line_bytes: cache line size in bytes.
+    """
+
+    def __init__(
+        self,
+        channels: int = 4,
+        dimms_per_channel: int = 4,
+        banks_per_dimm: int = 8,
+        rows: int = 16384,
+        columns: int = 128,
+        line_bytes: int = 64,
+    ) -> None:
+        for name, value in (
+            ("channels", channels),
+            ("dimms_per_channel", dimms_per_channel),
+            ("banks_per_dimm", banks_per_dimm),
+            ("rows", rows),
+            ("columns", columns),
+            ("line_bytes", line_bytes),
+        ):
+            if not _is_power_of_two(value):
+                raise ConfigurationError(f"{name} must be a power of two, got {value}")
+        self._channels = channels
+        self._dimms = dimms_per_channel
+        self._banks = banks_per_dimm
+        self._rows = rows
+        self._columns = columns
+        self._line_bytes = line_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total addressable capacity."""
+        return (
+            self._channels
+            * self._dimms
+            * self._banks
+            * self._rows
+            * self._columns
+            * self._line_bytes
+        )
+
+    @property
+    def lines(self) -> int:
+        """Total number of cache lines in the system."""
+        return self.capacity_bytes // self._line_bytes
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decode a byte address into its coordinates."""
+        if address < 0:
+            raise ConfigurationError("address must be non-negative")
+        line = (address // self._line_bytes) % self.lines
+        channel = line % self._channels
+        line //= self._channels
+        dimm = line % self._dimms
+        line //= self._dimms
+        bank = line % self._banks
+        line //= self._banks
+        column = line % self._columns
+        line //= self._columns
+        row = line % self._rows
+        return DecodedAddress(channel=channel, dimm=dimm, bank=bank, row=row, column=column)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode`; returns a line-aligned byte address."""
+        for name, value, limit in (
+            ("channel", decoded.channel, self._channels),
+            ("dimm", decoded.dimm, self._dimms),
+            ("bank", decoded.bank, self._banks),
+            ("row", decoded.row, self._rows),
+            ("column", decoded.column, self._columns),
+        ):
+            if not 0 <= value < limit:
+                raise ConfigurationError(f"{name} {value} out of range [0, {limit})")
+        line = decoded.row
+        line = line * self._columns + decoded.column
+        line = line * self._banks + decoded.bank
+        line = line * self._dimms + decoded.dimm
+        line = line * self._channels + decoded.channel
+        return line * self._line_bytes

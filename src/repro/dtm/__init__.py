@@ -1,0 +1,45 @@
+"""Dynamic thermal management policies (§4.2, §5.2).
+
+Existing schemes:
+
+- :class:`repro.dtm.ts.DTMTS` — thermal shutdown with TDP/TRP hysteresis.
+- :class:`repro.dtm.bw.DTMBW` — bandwidth throttling by emergency level.
+
+Proposed schemes (the paper's contribution):
+
+- :class:`repro.dtm.acg.DTMACG` — adaptive core gating.
+- :class:`repro.dtm.cdvfs.DTMCDVFS` — coordinated DVFS.
+- :class:`repro.dtm.comb.DTMCOMB` — gating + DVFS combined (Chapter 5).
+
+Formal control:
+
+- :class:`repro.dtm.pid.PIDController` — Eq. 4.1 with integral-enable
+  threshold and saturation anti-windup.
+- :mod:`repro.dtm.pid_policies` — PID-driven variants of BW/ACG/CDVFS.
+"""
+
+from repro.dtm.base import ControlDecision, DTMPolicy, ThermalReading
+from repro.dtm.levels import LevelTracker
+from repro.dtm.ts import DTMTS
+from repro.dtm.bw import DTMBW
+from repro.dtm.acg import DTMACG
+from repro.dtm.cdvfs import DTMCDVFS
+from repro.dtm.comb import DTMCOMB
+from repro.dtm.pid import PIDController, PIDGains
+from repro.dtm.pid_policies import PIDPolicy, make_pid_policy
+
+__all__ = [
+    "ControlDecision",
+    "DTMPolicy",
+    "ThermalReading",
+    "LevelTracker",
+    "DTMTS",
+    "DTMBW",
+    "DTMACG",
+    "DTMCDVFS",
+    "DTMCOMB",
+    "PIDController",
+    "PIDGains",
+    "PIDPolicy",
+    "make_pid_policy",
+]

@@ -1,0 +1,88 @@
+"""DTM policy interface and control vocabulary.
+
+Every policy consumes a :class:`ThermalReading` once per DTM interval and
+produces a :class:`ControlDecision` — the full actuator state: memory
+on/off, bandwidth cap, active core count and DVFS level.  Schemes that
+only use one actuator leave the others at their permissive defaults, so
+the second-level simulator can apply any decision uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalReading:
+    """Sensor temperatures delivered to the policy, degC."""
+
+    amb_c: float
+    dram_c: float
+
+    def hotter(self, other: "ThermalReading") -> bool:
+        """Whether either component exceeds the other reading's."""
+        return self.amb_c > other.amb_c or self.dram_c > other.dram_c
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One DTM interval's actuator state.
+
+    Attributes:
+        memory_on: all memory transactions enabled.
+        bandwidth_cap_bytes_per_s: memory throughput ceiling
+            (``None`` = unlimited; ignored when memory is off).
+        active_cores: cores left running by gating.
+        dvfs_level: DVFS ladder position (0 = fastest,
+            ``n_points`` = stopped).
+        emergency_level: the quantized thermal emergency level that
+            produced this decision (for logging / analysis).
+    """
+
+    memory_on: bool = True
+    bandwidth_cap_bytes_per_s: float | None = None
+    active_cores: int = 4
+    dvfs_level: int = 0
+    emergency_level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_cap_bytes_per_s is not None and self.bandwidth_cap_bytes_per_s < 0:
+            raise ConfigurationError("bandwidth cap must be non-negative or None")
+        if self.active_cores < 0:
+            raise ConfigurationError("active core count must be non-negative")
+        if self.dvfs_level < 0:
+            raise ConfigurationError("DVFS level must be non-negative")
+
+
+class DTMPolicy(abc.ABC):
+    """A dynamic thermal management policy.
+
+    Policies are stateful (hysteresis, fairness rotation, PID integrals);
+    :meth:`reset` restores the initial state between experiment runs.
+    """
+
+    #: Human-readable scheme name ("DTM-ACG", ...).
+    name: str = "DTM"
+
+    @abc.abstractmethod
+    def decide(self, reading: ThermalReading, dt_s: float) -> ControlDecision:
+        """Produce the actuator state for the next interval."""
+
+    def reset(self) -> None:
+        """Restore initial policy state (default: stateless)."""
+
+
+class NoLimitPolicy(DTMPolicy):
+    """The ideal system without any thermal limit (the paper's baseline)."""
+
+    name = "No-limit"
+
+    def __init__(self, cores: int = 4) -> None:
+        self._cores = cores
+
+    def decide(self, reading: ThermalReading, dt_s: float) -> ControlDecision:
+        """Always full speed, regardless of temperature."""
+        return ControlDecision(active_cores=self._cores)

@@ -1,0 +1,57 @@
+"""Emergency-level tracking shared by the table-driven policies.
+
+:class:`LevelTracker` quantizes readings through an
+:class:`repro.params.emergency.EmergencyLevels` table and optionally adds
+release hysteresis: once the highest level triggers a full shutdown, the
+policy stays shut down until the temperature falls to the release point
+(the DTM-TS behaviour the other schemes inherit at their top level).
+"""
+
+from __future__ import annotations
+
+from repro.dtm.base import ThermalReading
+from repro.params.emergency import EmergencyLevels
+
+
+class LevelTracker:
+    """Quantizes thermal readings into emergency levels with hysteresis."""
+
+    def __init__(self, levels: EmergencyLevels) -> None:
+        self._levels = levels
+        self._latched_shutdown = False
+
+    @property
+    def levels(self) -> EmergencyLevels:
+        """The emergency-level table."""
+        return self._levels
+
+    @property
+    def latched(self) -> bool:
+        """Whether the tracker is latched in the shutdown state."""
+        return self._latched_shutdown
+
+    def level(self, reading: ThermalReading) -> int:
+        """Current emergency level with top-level release hysteresis.
+
+        Reaching the highest level latches it; the latch clears only when
+        both temperatures fall to their thermal release points, at which
+        point the level is re-evaluated normally.
+        """
+        raw = self._levels.level(reading.amb_c, reading.dram_c)
+        top = self._levels.level_count - 1
+        if raw >= top:
+            self._latched_shutdown = True
+        if self._latched_shutdown:
+            released = (
+                reading.amb_c <= self._levels.amb_trp_c
+                and reading.dram_c <= self._levels.dram_trp_c
+            )
+            if not released:
+                return top
+            self._latched_shutdown = False
+            raw = self._levels.level(reading.amb_c, reading.dram_c)
+        return raw
+
+    def reset(self) -> None:
+        """Clear the shutdown latch."""
+        self._latched_shutdown = False

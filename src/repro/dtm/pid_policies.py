@@ -1,0 +1,144 @@
+"""PID-driven variants of the DTM schemes (§4.2.3).
+
+Two controllers run side by side — one regulating the AMB temperature,
+one the DRAM temperature — and the more conservative output acts (for
+any given cooling configuration one of the two is always the binding
+limit, §4.2.3).  The normalized output selects a rung of the same
+decision ladder the table-driven scheme uses, so "DTM-ACG + PID" picks an
+active-core count, "DTM-CDVFS + PID" a DVFS level, and "DTM-BW + PID" a
+bandwidth cap.  A reading at or above a TDP forces the most aggressive
+rung regardless of controller state (the worst-case safety net).
+"""
+
+from __future__ import annotations
+
+from repro.dtm.base import ControlDecision, DTMPolicy, ThermalReading
+from repro.dtm.pid import (
+    AMB_GAINS,
+    AMB_INTEGRAL_ENABLE_C,
+    AMB_TARGET_C,
+    DRAM_GAINS,
+    DRAM_INTEGRAL_ENABLE_C,
+    DRAM_TARGET_C,
+    PIDController,
+)
+from repro.errors import ConfigurationError
+from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
+
+
+class PIDPolicy(DTMPolicy):
+    """A DTM scheme actuated by the dual PID controllers.
+
+    Args:
+        scheme: one of "bw", "acg", "cdvfs", "comb" — which actuator the
+            normalized controller output drives.
+        levels: emergency table providing the decision ladders and TDPs.
+        cores: total core count.
+        amb_target_c / dram_target_c: controller targets (defaults §4.3.4).
+        min_active: lower bound on gated cores for acg/comb (Chapter 5).
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        levels: EmergencyLevels | None = None,
+        cores: int = 4,
+        amb_target_c: float = AMB_TARGET_C,
+        dram_target_c: float = DRAM_TARGET_C,
+        min_active: int = 0,
+        integral_enabled: bool = True,
+    ) -> None:
+        if scheme not in ("bw", "acg", "cdvfs", "comb"):
+            raise ConfigurationError(f"unknown PID scheme {scheme!r}")
+        self._scheme = scheme
+        self._levels = levels if levels is not None else SIMULATION_LEVELS
+        self._cores = cores
+        self._min_active = min_active
+        self.name = f"DTM-{scheme.upper()}+PID"
+        amb_enable = AMB_INTEGRAL_ENABLE_C if integral_enabled else float("inf")
+        dram_enable = DRAM_INTEGRAL_ENABLE_C if integral_enabled else float("inf")
+        self._amb_pid = PIDController(
+            AMB_GAINS, amb_target_c, integral_enable_c=amb_enable
+        )
+        self._dram_pid = PIDController(
+            DRAM_GAINS, dram_target_c, integral_enable_c=dram_enable
+        )
+
+    @property
+    def scheme(self) -> str:
+        """Which actuator this policy drives."""
+        return self._scheme
+
+    def decide(self, reading: ThermalReading, dt_s: float) -> ControlDecision:
+        """Run both controllers; the binding (lower) output acts."""
+        amb_out = self._amb_pid.update(reading.amb_c, dt_s)
+        dram_out = self._dram_pid.update(reading.dram_c, dt_s)
+        amb_u = self._amb_pid.normalized(amb_out)
+        dram_u = self._dram_pid.normalized(dram_out)
+        u = min(amb_u, dram_u)
+        rung_count = self._levels.level_count
+        # u = 1 -> rung 0 (full performance); u = 0 -> most aggressive rung.
+        rung = round((1.0 - u) * (rung_count - 1))
+        # Safety net: at/above a TDP, force the most aggressive rung.
+        if (
+            reading.amb_c >= self._levels.amb_tdp_c
+            or reading.dram_c >= self._levels.dram_tdp_c
+        ):
+            rung = rung_count - 1
+        return self._decision_for_rung(rung)
+
+    def _decision_for_rung(self, rung: int) -> ControlDecision:
+        """Translate a ladder rung into the scheme's actuator state."""
+        if self._scheme == "bw":
+            cap = self._levels.bw_caps_bytes_per_s[rung]
+            memory_on = cap is None or cap > 0.0
+            return ControlDecision(
+                memory_on=memory_on,
+                bandwidth_cap_bytes_per_s=cap if memory_on else 0.0,
+                active_cores=self._cores,
+                emergency_level=rung,
+            )
+        if self._scheme == "acg":
+            active = self._levels.acg_active_cores[rung]
+            if active > 0:
+                active = max(active, self._min_active)
+            return ControlDecision(
+                memory_on=active > 0,
+                active_cores=min(active, self._cores),
+                emergency_level=rung,
+            )
+        if self._scheme == "cdvfs":
+            dvfs = self._levels.cdvfs_levels[rung]
+            stopped = dvfs >= 4
+            return ControlDecision(
+                memory_on=not stopped,
+                active_cores=0 if stopped else self._cores,
+                dvfs_level=dvfs,
+                emergency_level=rung,
+            )
+        # comb: both ladders at once.
+        active = self._levels.acg_active_cores[rung]
+        if active > 0:
+            active = max(active, self._min_active)
+        dvfs = min(self._levels.cdvfs_levels[rung], 3)
+        return ControlDecision(
+            memory_on=active > 0,
+            active_cores=min(active, self._cores),
+            dvfs_level=dvfs if active > 0 else 4,
+            emergency_level=rung,
+        )
+
+    def reset(self) -> None:
+        """Reset both controllers."""
+        self._amb_pid.reset()
+        self._dram_pid.reset()
+
+
+def make_pid_policy(
+    scheme: str,
+    levels: EmergencyLevels | None = None,
+    cores: int = 4,
+    **kwargs,
+) -> PIDPolicy:
+    """Convenience constructor for PID-driven policies."""
+    return PIDPolicy(scheme, levels=levels, cores=cores, **kwargs)

@@ -1,0 +1,72 @@
+"""Parameter tables transcribed from the paper.
+
+Each module in this package holds one family of constants:
+
+- :mod:`repro.params.dram_timing` — Table 4.1 (simulator / DDR2 timing).
+- :mod:`repro.params.power_params` — Eq. 3.1 constants and Table 3.1
+  (FBDIMM power model), Table 4.4 (processor power per DTM state).
+- :mod:`repro.params.thermal_params` — Tables 3.2 and 3.3 (thermal
+  resistances, RC time constants, ambient-model parameters).
+- :mod:`repro.params.emergency` — Tables 4.3 and 5.1 (thermal emergency
+  levels and the control decision ladder of every DTM scheme).
+
+The values are deliberately kept as plain dataclasses / dictionaries so a
+user can construct modified copies for sensitivity studies without touching
+library code.
+"""
+
+from repro.params.dram_timing import DDR2Timing, FBDIMMChannelParams, SimulatedSystemParams
+from repro.params.power_params import (
+    AMBPowerParams,
+    DRAMPowerParams,
+    ProcessorPowerTable,
+    SIMULATED_CPU_POWER,
+    XEON_5160_POWER,
+)
+from repro.params.thermal_params import (
+    AmbientModelParams,
+    CoolingConfig,
+    ThermalResistances,
+    AOHS_1_0,
+    AOHS_1_5,
+    AOHS_3_0,
+    FDHS_1_0,
+    FDHS_1_5,
+    FDHS_3_0,
+    COOLING_CONFIGS,
+    ISOLATED_AMBIENT,
+    INTEGRATED_AMBIENT,
+)
+from repro.params.emergency import (
+    EmergencyLevels,
+    SIMULATION_LEVELS,
+    PE1950_LEVELS,
+    SR1500AL_LEVELS,
+)
+
+__all__ = [
+    "DDR2Timing",
+    "FBDIMMChannelParams",
+    "SimulatedSystemParams",
+    "AMBPowerParams",
+    "DRAMPowerParams",
+    "ProcessorPowerTable",
+    "SIMULATED_CPU_POWER",
+    "XEON_5160_POWER",
+    "AmbientModelParams",
+    "CoolingConfig",
+    "ThermalResistances",
+    "AOHS_1_0",
+    "AOHS_1_5",
+    "AOHS_3_0",
+    "FDHS_1_0",
+    "FDHS_1_5",
+    "FDHS_3_0",
+    "COOLING_CONFIGS",
+    "ISOLATED_AMBIENT",
+    "INTEGRATED_AMBIENT",
+    "EmergencyLevels",
+    "SIMULATION_LEVELS",
+    "PE1950_LEVELS",
+    "SR1500AL_LEVELS",
+]

@@ -1,0 +1,185 @@
+"""DDR2 / FBDIMM timing and simulated-system parameters (Table 4.1).
+
+The paper simulates a four-core processor attached to a multi-channel
+FBDIMM memory using 667 MT/s DDR2 devices with (5-5-5) timing.  The
+dataclasses below carry those parameters into both the cycle-level DRAM
+simulator (:mod:`repro.dram`) and the analytic window model
+(:mod:`repro.core.windowmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DDR2Timing:
+    """DDR2 device timing constraints, in nanoseconds (Table 4.1).
+
+    The default values are the (5-5-5) DDR2-667 parameters used in the
+    paper: tRCD = tCL = tRP = 15 ns at a 3 ns bus-clock period.
+    """
+
+    #: Activate to read/write delay (RAS-to-CAS).
+    trcd_ns: float = 15.0
+    #: Read command to first data (CAS latency).
+    tcl_ns: float = 15.0
+    #: Precharge to activate delay.
+    trp_ns: float = 15.0
+    #: Activate to precharge minimum (row active time).
+    tras_ns: float = 39.0
+    #: Activate to activate on the same bank (row cycle).
+    trc_ns: float = 54.0
+    #: Write-to-read turnaround.
+    twtr_ns: float = 9.0
+    #: Write latency (command to first write data).
+    twl_ns: float = 12.0
+    #: Write to precharge delay.
+    twpd_ns: float = 36.0
+    #: Read to precharge delay.
+    trpd_ns: float = 9.0
+    #: Activate to activate across banks (row-to-row delay).
+    trrd_ns: float = 9.0
+    #: Data transfer rate in mega-transfers per second.
+    transfer_rate_mt: float = 667.0
+    #: Burst length in transfers; 4 transfers of 8 bytes moves 32 bytes
+    #: per DDR2 x8 rank access, so a 64 B line spans two channels (§3.3).
+    burst_length: int = 4
+
+    def __post_init__(self) -> None:
+        if self.trc_ns < self.tras_ns:
+            raise ConfigurationError(
+                f"tRC ({self.trc_ns} ns) must be >= tRAS ({self.tras_ns} ns)"
+            )
+        if self.transfer_rate_mt <= 0:
+            raise ConfigurationError("transfer rate must be positive")
+
+    @property
+    def clock_period_ns(self) -> float:
+        """Bus clock period in nanoseconds (DDR: two transfers/clock)."""
+        return 2000.0 / self.transfer_rate_mt
+
+    @property
+    def burst_duration_ns(self) -> float:
+        """Time for one burst on the DDR2 data bus."""
+        return self.burst_length * self.clock_period_ns / 2.0
+
+    def in_cycles(self, nanoseconds: float) -> int:
+        """Round a latency in ns up to whole bus-clock cycles."""
+        period = self.clock_period_ns
+        return max(0, int(-(-nanoseconds // period)))
+
+
+@dataclass(frozen=True)
+class FBDIMMChannelParams:
+    """FBDIMM channel interconnect parameters (§3.2 and Table 4.1).
+
+    During each memory (bus) cycle the southbound link carries three
+    commands or one command plus 16 B of write data; the northbound link
+    carries 32 B of read data.  The daisy-chained AMBs add a fixed pass-
+    through latency per hop, which is what produces the variable read
+    latency (VRL) feature.
+    """
+
+    #: Commands per southbound frame when no write data is carried.
+    southbound_commands_per_frame: int = 3
+    #: Write-data payload bytes per southbound frame (1 command + 16 B).
+    southbound_write_bytes: int = 16
+    #: Read-data payload bytes per northbound frame.
+    northbound_read_bytes: int = 32
+    #: AMB pass-through latency per hop, nanoseconds (each direction).
+    amb_hop_ns: float = 3.0
+    #: AMB local translation latency (FBDIMM frame -> DDR2 command), ns.
+    amb_translate_ns: float = 5.0
+    #: Memory controller fixed overhead per request, ns (Table 4.1: 12 ns).
+    controller_overhead_ns: float = 12.0
+    #: Memory controller request buffer entries (Table 4.1).
+    controller_queue_entries: int = 64
+    #: Whether variable read latency is enabled (§3.2).
+    variable_read_latency: bool = True
+
+    def frame_period_ns(self, timing: DDR2Timing) -> float:
+        """FBDIMM frame period, in nanoseconds.
+
+        One frame spans two DDR2 bus clocks, so a 32 B northbound frame
+        stream exactly matches the peak bandwidth of one DDR2 channel
+        (§3.2: "the maximum bandwidth of the northbound link matches that
+        of one DDR2 channel"): 32 B / 6 ns = 5.33 GB/s at 667 MT/s.
+        """
+        return 2.0 * timing.clock_period_ns
+
+    def northbound_peak_bytes_per_s(self, timing: DDR2Timing) -> float:
+        """Peak read bandwidth of one FBDIMM channel in bytes/second.
+
+        The northbound link matches the bandwidth of one DDR2 channel
+        (§3.2): 32 B per frame at the bus clock rate.
+        """
+        return self.northbound_read_bytes / (self.frame_period_ns(timing) * 1e-9)
+
+    def southbound_peak_bytes_per_s(self, timing: DDR2Timing) -> float:
+        """Peak write bandwidth of one FBDIMM channel in bytes/second."""
+        return self.southbound_write_bytes / (self.frame_period_ns(timing) * 1e-9)
+
+
+@dataclass(frozen=True)
+class SimulatedSystemParams:
+    """Whole-system parameters of the simulated platform (Table 4.1)."""
+
+    #: Number of processor cores.
+    cores: int = 4
+    #: Issue width per core.
+    issue_width: int = 4
+    #: Pipeline depth (stages).
+    pipeline_stages: int = 21
+    #: Nominal (maximum) core clock in Hz.
+    max_frequency_hz: float = 3.2e9
+    #: Shared L2 capacity in bytes (4 MB).
+    l2_capacity_bytes: int = 4 * 1024 * 1024
+    #: L2 associativity.
+    l2_ways: int = 8
+    #: Cache line size in bytes.
+    line_bytes: int = 64
+    #: Logical FBDIMM channels (each logical channel = 2 physical, §3.3:
+    #: a 64 B line is transferred over two FBDIMM channels).
+    logical_channels: int = 2
+    #: Physical FBDIMM channels.
+    physical_channels: int = 4
+    #: DIMMs per physical channel.
+    dimms_per_channel: int = 4
+    #: DRAM banks per DIMM.
+    banks_per_dimm: int = 8
+    #: DTM control interval in seconds (Table 4.1: 10 ms).
+    dtm_interval_s: float = 0.010
+    #: DTM control overhead per interval in seconds (Table 4.1: 25 us).
+    dtm_overhead_s: float = 25e-6
+    #: DDR2 device timing.
+    timing: DDR2Timing = field(default_factory=DDR2Timing)
+    #: FBDIMM channel parameters.
+    channel: FBDIMMChannelParams = field(default_factory=FBDIMMChannelParams)
+
+    def __post_init__(self) -> None:
+        if self.physical_channels % self.logical_channels != 0:
+            raise ConfigurationError(
+                "physical channels must be a multiple of logical channels"
+            )
+        if self.cores <= 0:
+            raise ConfigurationError("core count must be positive")
+
+    @property
+    def total_dimms(self) -> int:
+        """Total DIMMs in the memory subsystem."""
+        return self.physical_channels * self.dimms_per_channel
+
+    @property
+    def peak_read_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate peak read bandwidth across all physical channels."""
+        per_channel = self.channel.northbound_peak_bytes_per_s(self.timing)
+        return per_channel * self.physical_channels
+
+    @property
+    def peak_write_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate peak write bandwidth across all physical channels."""
+        per_channel = self.channel.southbound_peak_bytes_per_s(self.timing)
+        return per_channel * self.physical_channels

@@ -1,0 +1,180 @@
+"""Thermal model parameters (Tables 3.2 and 3.3).
+
+Table 3.2 gives the thermal resistances between the AMB, the DRAM chips
+and ambient for each of six cooling configurations — two heat-spreader
+types (AMB-Only Heat Spreader and Full-DIMM Heat Spreader) at three air
+velocities — plus the RC time constants tau_AMB = 50 s and tau_DRAM =
+100 s.  Table 3.3 gives the system inlet temperatures and the CPU-to-
+memory thermal interaction coefficient of the integrated ambient model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalResistances:
+    """Thermal resistances of one cooling configuration, in degC/W (Table 3.2)."""
+
+    #: AMB to ambient.
+    psi_amb: float
+    #: DRAM-power contribution to AMB temperature (DRAM -> AMB coupling).
+    psi_dram_amb: float
+    #: DRAM chip to ambient.
+    psi_dram: float
+    #: AMB-power contribution to DRAM temperature (AMB -> DRAM coupling).
+    psi_amb_dram: float
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("psi_amb", self.psi_amb),
+            ("psi_dram_amb", self.psi_dram_amb),
+            ("psi_dram", self.psi_dram),
+            ("psi_amb_dram", self.psi_amb_dram),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class CoolingConfig:
+    """A named cooling configuration: heat spreader + air velocity (Table 3.2)."""
+
+    name: str
+    #: Heat spreader type: "AOHS" (AMB only) or "FDHS" (full DIMM).
+    heat_spreader: str
+    #: Cooling air velocity in m/s.
+    air_velocity_m_per_s: float
+    resistances: ThermalResistances
+    #: AMB thermal RC time constant, seconds (Table 3.2).
+    tau_amb_s: float = 50.0
+    #: DRAM thermal RC time constant, seconds (Table 3.2).
+    tau_dram_s: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.heat_spreader not in ("AOHS", "FDHS"):
+            raise ConfigurationError(
+                f"heat spreader must be AOHS or FDHS, got {self.heat_spreader!r}"
+            )
+        if self.air_velocity_m_per_s <= 0:
+            raise ConfigurationError("air velocity must be positive")
+        if self.tau_amb_s <= 0 or self.tau_dram_s <= 0:
+            raise ConfigurationError("time constants must be positive")
+
+
+#: AMB-Only Heat Spreader columns of Table 3.2.
+AOHS_1_0 = CoolingConfig(
+    name="AOHS_1.0",
+    heat_spreader="AOHS",
+    air_velocity_m_per_s=1.0,
+    resistances=ThermalResistances(
+        psi_amb=11.2, psi_dram_amb=4.3, psi_dram=4.9, psi_amb_dram=5.3
+    ),
+)
+AOHS_1_5 = CoolingConfig(
+    name="AOHS_1.5",
+    heat_spreader="AOHS",
+    air_velocity_m_per_s=1.5,
+    resistances=ThermalResistances(
+        psi_amb=9.3, psi_dram_amb=3.4, psi_dram=4.0, psi_amb_dram=4.1
+    ),
+)
+AOHS_3_0 = CoolingConfig(
+    name="AOHS_3.0",
+    heat_spreader="AOHS",
+    air_velocity_m_per_s=3.0,
+    resistances=ThermalResistances(
+        psi_amb=6.6, psi_dram_amb=2.2, psi_dram=2.7, psi_amb_dram=2.6
+    ),
+)
+
+#: Full-DIMM Heat Spreader columns of Table 3.2.
+FDHS_1_0 = CoolingConfig(
+    name="FDHS_1.0",
+    heat_spreader="FDHS",
+    air_velocity_m_per_s=1.0,
+    resistances=ThermalResistances(
+        psi_amb=8.0, psi_dram_amb=4.4, psi_dram=4.0, psi_amb_dram=5.7
+    ),
+)
+FDHS_1_5 = CoolingConfig(
+    name="FDHS_1.5",
+    heat_spreader="FDHS",
+    air_velocity_m_per_s=1.5,
+    resistances=ThermalResistances(
+        psi_amb=7.0, psi_dram_amb=3.7, psi_dram=3.3, psi_amb_dram=4.5
+    ),
+)
+FDHS_3_0 = CoolingConfig(
+    name="FDHS_3.0",
+    heat_spreader="FDHS",
+    air_velocity_m_per_s=3.0,
+    resistances=ThermalResistances(
+        psi_amb=5.5, psi_dram_amb=2.9, psi_dram=2.3, psi_amb_dram=2.9
+    ),
+)
+
+#: All six Table 3.2 columns, keyed by name.  The paper's experiments use
+#: the two bold columns AOHS_1.5 and FDHS_1.0.
+COOLING_CONFIGS: dict[str, CoolingConfig] = {
+    config.name: config
+    for config in (AOHS_1_0, AOHS_1_5, AOHS_3_0, FDHS_1_0, FDHS_1_5, FDHS_3_0)
+}
+
+
+@dataclass(frozen=True)
+class AmbientModelParams:
+    """DRAM ambient-temperature model parameters (Eq. 3.6, Table 3.3).
+
+    ``TA_stable = T_inlet + interaction * sum_i(V_core_i * IPC_core_i)``
+    where ``interaction`` is the product Psi_CPU_MEM * xi.  The isolated
+    model sets the interaction to zero; the integrated model uses 1.5 and
+    correspondingly lower inlet temperatures so both models represent the
+    same thermally-constrained environment.
+    """
+
+    #: System inlet temperature per cooling configuration name, degC.
+    inlet_by_cooling: dict[str, float]
+    #: Psi_CPU_MEM * xi, degC per (volt * IPC) summed over cores.
+    interaction: float
+    #: RC time constant of the ambient node, seconds (§3.5: 20 s).
+    tau_ambient_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.interaction < 0:
+            raise ConfigurationError("interaction degree must be non-negative")
+        if self.tau_ambient_s <= 0:
+            raise ConfigurationError("tau_ambient_s must be positive")
+
+    def inlet_for(self, cooling_name: str) -> float:
+        """System inlet temperature for a cooling configuration."""
+        try:
+            return self.inlet_by_cooling[cooling_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no inlet temperature recorded for cooling {cooling_name!r}"
+            ) from None
+
+    def with_interaction(self, interaction: float) -> "AmbientModelParams":
+        """A copy with a different CPU-memory interaction degree (§4.5.2)."""
+        return AmbientModelParams(
+            inlet_by_cooling=dict(self.inlet_by_cooling),
+            interaction=interaction,
+            tau_ambient_s=self.tau_ambient_s,
+        )
+
+
+#: Table 3.3, isolated model row: constant ambient, no CPU interaction.
+ISOLATED_AMBIENT = AmbientModelParams(
+    inlet_by_cooling={"FDHS_1.0": 45.0, "AOHS_1.5": 50.0},
+    interaction=0.0,
+)
+
+#: Table 3.3, integrated model row: pre-heated airflow, interaction 1.5.
+INTEGRATED_AMBIENT = AmbientModelParams(
+    inlet_by_cooling={"FDHS_1.0": 40.0, "AOHS_1.5": 45.0},
+    interaction=1.5,
+)

@@ -1,0 +1,58 @@
+"""Energy accounting for the DTM energy-consumption experiments.
+
+The second-level simulator produces piecewise-constant power over DTM
+intervals; :class:`EnergyMeter` integrates those samples and keeps
+separate channels (e.g. "cpu", "memory") so Figs. 4.9/4.10/5.11 can be
+regenerated from a single run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ConfigurationError
+
+
+class EnergyMeter:
+    """Accumulates energy per named channel from (power, duration) samples."""
+
+    def __init__(self) -> None:
+        self._joules: dict[str, float] = defaultdict(float)
+        self._seconds: dict[str, float] = defaultdict(float)
+
+    def add(self, channel: str, power_w: float, duration_s: float) -> None:
+        """Record ``power_w`` drawn on ``channel`` for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be non-negative")
+        if power_w < 0:
+            raise ConfigurationError("power must be non-negative")
+        self._joules[channel] += power_w * duration_s
+        self._seconds[channel] += duration_s
+
+    def energy_j(self, channel: str) -> float:
+        """Total energy recorded on a channel, in joules."""
+        return self._joules.get(channel, 0.0)
+
+    def duration_s(self, channel: str) -> float:
+        """Total time recorded on a channel, in seconds."""
+        return self._seconds.get(channel, 0.0)
+
+    def average_power_w(self, channel: str) -> float:
+        """Time-averaged power on a channel (0 if nothing recorded)."""
+        seconds = self._seconds.get(channel, 0.0)
+        if seconds == 0.0:
+            return 0.0
+        return self._joules[channel] / seconds
+
+    def total_energy_j(self) -> float:
+        """Energy summed over every channel."""
+        return sum(self._joules.values())
+
+    @property
+    def channels(self) -> list[str]:
+        """Names of all channels with recorded samples, sorted."""
+        return sorted(self._joules)
+
+    def merged(self, *channel_names: str) -> float:
+        """Energy summed over a subset of channels (for CPU+DRAM plots)."""
+        return sum(self._joules.get(name, 0.0) for name in channel_names)

@@ -1,0 +1,326 @@
+"""Measurement-style experiment runner for the Chapter 5 servers.
+
+:class:`ServerSimulator` plays the role of the paper's experimental
+methodology (§5.3): it runs a multiprogramming batch job on a modeled
+server under one DTM policy, polling the AMB sensors once per second,
+applying the policy's decision through the Linux mechanisms (hotplug,
+cpufreq, chipset throttle), and logging performance counters, power and
+temperatures — producing everything Figs. 5.4–5.15 need.
+
+:func:`run_homogeneous` reproduces the §5.4.1 warm-up experiments: four
+copies of one program from idle-stable temperature, with the chipset
+safety throttle arming near the TDP (Fig. 5.4 / Fig. 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memspot import MemSpot
+from repro.core.results import TemperatureTrace
+from repro.cpu.power import measured_chip_power_w
+from repro.dtm.base import DTMPolicy, ThermalReading
+from repro.errors import ConfigurationError, SimulationError
+from repro.testbed.chipset import OpenLoopThrottle
+from repro.testbed.daughtercard import DaughterCard
+from repro.testbed.linux import CPUFreq, CPUHotplug
+from repro.testbed.performance import ServerWindowModel, SocketLoad
+from repro.testbed.platforms import ServerPlatform
+from repro.workloads.batch import BatchScheduler
+from repro.workloads.mixes import get_mix
+from repro.workloads.profiles import AppProfile, get_app
+
+
+#: Per-core V*IPC-equivalent heat of a running-but-stalled core (spin
+#: power), folded into the Eq. 3.6 sum alongside committed-work heat.
+_SPIN_HEAT = 0.20
+
+
+@dataclass(frozen=True)
+class ServerRunResult:
+    """Outputs of one server experiment."""
+
+    platform: str
+    workload: str
+    policy: str
+    runtime_s: float
+    traffic_bytes: float
+    l2_misses: float
+    instructions: float
+    cpu_energy_j: float
+    memory_energy_j: float
+    #: Time-averaged memory inlet (CPU exhaust) temperature, degC.
+    mean_inlet_c: float
+    peak_amb_c: float
+    finished_jobs: int
+    trace: TemperatureTrace = field(default_factory=TemperatureTrace)
+
+    @property
+    def average_cpu_power_w(self) -> float:
+        """Mean processor power over the run."""
+        if self.runtime_s <= 0:
+            return 0.0
+        return self.cpu_energy_j / self.runtime_s
+
+    def normalized_runtime(self, baseline: "ServerRunResult") -> float:
+        """Runtime relative to a baseline (Fig. 5.6 metric)."""
+        if baseline.runtime_s <= 0:
+            raise SimulationError("baseline runtime must be positive")
+        return self.runtime_s / baseline.runtime_s
+
+    def normalized_misses(self, baseline: "ServerRunResult") -> float:
+        """L2 misses relative to a baseline (Fig. 5.8 metric)."""
+        if baseline.l2_misses <= 0:
+            raise SimulationError("baseline misses must be positive")
+        return self.l2_misses / baseline.l2_misses
+
+
+class ServerSimulator:
+    """Runs one (platform, workload, policy) measurement to completion."""
+
+    def __init__(
+        self,
+        platform: ServerPlatform,
+        policy: DTMPolicy,
+        mix_name: str,
+        copies: int = 2,
+        time_slice_s: float | None = None,
+        ambient_override_c: float | None = None,
+        window_model: ServerWindowModel | None = None,
+        base_frequency_level: int = 0,
+        max_sim_s: float = 500_000.0,
+    ) -> None:
+        if copies < 1:
+            raise ConfigurationError("need at least one batch copy")
+        self._platform = platform
+        self._policy = policy
+        self._mix = get_mix(mix_name)
+        self._copies = copies
+        self._time_slice_s = time_slice_s
+        self._ambient_override_c = ambient_override_c
+        self._window = window_model or ServerWindowModel(platform)
+        self._base_frequency_level = base_frequency_level
+        self._max_sim_s = max_sim_s
+
+    @property
+    def window_model(self) -> ServerWindowModel:
+        """The socket-aware performance model (shared for memoization)."""
+        return self._window
+
+    def run(self) -> ServerRunResult:
+        """Execute the batch job under the policy."""
+        platform = self._platform
+        self._policy.reset()
+        scheduler = BatchScheduler(self._mix, self._copies, platform.total_cores)
+        hotplug = CPUHotplug(platform.total_cores)
+        cpufreq = CPUFreq(platform.cpu_power)
+        throttle = OpenLoopThrottle()
+        memspot = MemSpot(
+            cooling=platform.cooling,
+            ambient=platform.ambient_params(self._ambient_override_c),
+            physical_channels=platform.channels,
+            dimms_per_channel=platform.dimms_per_channel,
+        )
+        dt = platform.dtm_interval_s
+        top_level = platform.levels.level_count - 1
+        safety_cap = platform.levels.bw_caps_bytes_per_s[-1]
+
+        now = 0.0
+        traffic_bytes = 0.0
+        l2_misses = 0.0
+        instructions = 0.0
+        cpu_energy = 0.0
+        memory_energy = 0.0
+        inlet_integral = 0.0
+        peak_amb = -273.15
+        trace = TemperatureTrace()
+        sample = memspot.sample()
+
+        while not scheduler.done:
+            if now > self._max_sim_s:
+                raise SimulationError(
+                    f"server batch did not finish within {self._max_sim_s} s "
+                    f"({scheduler.finished_jobs}/{scheduler.total_jobs} jobs)"
+                )
+            reading = ThermalReading(amb_c=sample.amb_c, dram_c=sample.dram_c)
+            decision = self._policy.decide(reading, dt)
+
+            # Apply the decision through the Linux/chipset mechanisms.
+            active = max(2, decision.active_cores) if decision.active_cores else 2
+            online = hotplug.apply_count(active, sockets=platform.sockets)
+            # A non-zero base level pins BW/ACG to a lower processor
+            # speed (the Fig. 5.13 sensitivity experiment).
+            level = max(
+                self._base_frequency_level,
+                min(decision.dvfs_level, len(cpufreq.points) - 1),
+            )
+            cpufreq.set_level(level)
+            cap = decision.bandwidth_cap_bytes_per_s
+            if decision.emergency_level >= top_level and safety_cap is not None:
+                cap = safety_cap if cap is None else min(cap, safety_cap)
+            throttle.program_bandwidth(cap)
+
+            loads, slot_groups = self._build_loads(scheduler, hotplug, online)
+            heating = 0.0
+            read_bps = 0.0
+            write_bps = 0.0
+            if loads:
+                result = self._window.evaluate(
+                    loads,
+                    frequency_hz=cpufreq.frequency_hz,
+                    voltage_v=cpufreq.voltage_v,
+                    bandwidth_cap_bytes_per_s=throttle.bandwidth_cap_bytes_per_s(),
+                    time_slice_s=self._time_slice_s,
+                )
+                progress: dict[int, float] = {}
+                index = 0
+                utilizations: list[float] = []
+                for load, slots in zip(loads, slot_groups):
+                    socket_utils = []
+                    for slot in slots:
+                        rate = result.programs[index]
+                        advanced = rate.instructions_per_s * dt
+                        progress[slot] = advanced
+                        instructions += advanced
+                        socket_utils.append(rate.utilization)
+                        index += 1
+                    if load.active_cores >= 2:
+                        utilizations.extend(socket_utils[:2])
+                    else:
+                        utilizations.append(min(1.0, sum(socket_utils)))
+                scheduler.advance(progress)
+                # Eq. 3.6 heating plus a spin term: stalled-but-running
+                # cores still draw dynamic power (why the measured inlet
+                # is hottest under DTM-BW, Fig. 5.9), scaling with V and f.
+                top_hz = platform.cpu_power.operating_points[0].frequency_hz
+                spin = (
+                    _SPIN_HEAT
+                    * cpufreq.voltage_v
+                    * (cpufreq.frequency_hz / top_hz)
+                    * len(online)
+                )
+                heating = result.heating_sum + spin
+                read_bps = result.read_bytes_per_s
+                write_bps = result.write_bytes_per_s
+                traffic_bytes += result.total_bytes_per_s * dt
+                l2_misses += result.l2_misses_per_s * dt
+            else:
+                utilizations = []
+
+            sample = memspot.step(read_bps, write_bps, heating, dt)
+            peak_amb = max(peak_amb, sample.amb_c)
+            inlet_integral += sample.ambient_c * dt
+            memory_energy += sample.memory_power_w * dt
+            cpu_power = measured_chip_power_w(
+                utilizations, cpufreq.level, platform.cpu_power
+            )
+            cpu_energy += cpu_power * dt
+            now += dt
+            trace.append(now, sample.amb_c, sample.dram_c, sample.ambient_c)
+
+        return ServerRunResult(
+            platform=platform.name,
+            workload=self._mix.name,
+            policy=self._policy.name,
+            runtime_s=now,
+            traffic_bytes=traffic_bytes,
+            l2_misses=l2_misses,
+            instructions=instructions,
+            cpu_energy_j=cpu_energy,
+            memory_energy_j=memory_energy,
+            mean_inlet_c=inlet_integral / now if now > 0 else 0.0,
+            peak_amb_c=peak_amb,
+            finished_jobs=scheduler.finished_jobs,
+            trace=trace,
+        )
+
+    def _build_loads(
+        self,
+        scheduler: BatchScheduler,
+        hotplug: CPUHotplug,
+        online: list[int],
+    ) -> tuple[list[SocketLoad], list[list[int]]]:
+        """Socket loads + the slot ids behind each load's programs."""
+        platform = self._platform
+        per_socket = platform.cores_per_socket
+        loads: list[SocketLoad] = []
+        slot_groups: list[list[int]] = []
+        online_set = set(online)
+        for socket in range(platform.sockets):
+            slots = [socket * per_socket + local for local in range(per_socket)]
+            occupied = [s for s in slots if scheduler.job_at(s) is not None]
+            if not occupied:
+                continue
+            active = sum(1 for s in slots if s in online_set)
+            if active == 0:
+                continue
+            resident = tuple(scheduler.job_at(s).app for s in occupied)  # type: ignore[union-attr]
+            loads.append(
+                SocketLoad(resident=resident, active_cores=min(active, len(slots)))
+            )
+            slot_groups.append(occupied)
+        return loads, slot_groups
+
+
+def run_homogeneous(
+    platform: ServerPlatform,
+    app_name: str,
+    duration_s: float = 500.0,
+    safety_cap_bytes_per_s: float = 3.0e9,
+    safety_threshold_c: float = 100.0,
+    daughter_card: DaughterCard | None = None,
+    window_model: ServerWindowModel | None = None,
+) -> tuple[TemperatureTrace, DaughterCard]:
+    """Warm-up run of four copies of one program (§5.4.1, Figs. 5.4/5.5).
+
+    No DTM policy runs; the chipset open-loop throttle arms only when the
+    AMB crosses ``safety_threshold_c`` (the paper disables throttling
+    below 100 degC and caps at 3 GB/s above it on the SR1500AL).
+
+    Returns the model-truth temperature trace and the daughter card whose
+    "amb" channel holds the noisy sensor log.
+    """
+    app: AppProfile = get_app(app_name)
+    window = window_model or ServerWindowModel(platform)
+    card = daughter_card or DaughterCard(sampling_period_s=1.0)
+    if "amb" not in card.channels:
+        card.add_channel("amb")
+    if "inlet" not in card.channels:
+        card.add_channel("inlet", noisy=False)
+    memspot = MemSpot(
+        cooling=platform.cooling,
+        ambient=platform.ambient_params(),
+        physical_channels=platform.channels,
+        dimms_per_channel=platform.dimms_per_channel,
+    )
+    throttle = OpenLoopThrottle()
+    cpufreq = CPUFreq(platform.cpu_power)
+    dt = 1.0
+    trace = TemperatureTrace()
+    sample = memspot.sample()
+    loads = [
+        SocketLoad(resident=(app, app), active_cores=2)
+        for _ in range(platform.sockets)
+    ]
+    now = 0.0
+    while now < duration_s:
+        if sample.amb_c >= safety_threshold_c:
+            throttle.program_bandwidth(safety_cap_bytes_per_s)
+        else:
+            throttle.program_bandwidth(None)
+        result = window.evaluate(
+            loads,
+            frequency_hz=cpufreq.frequency_hz,
+            voltage_v=cpufreq.voltage_v,
+            bandwidth_cap_bytes_per_s=throttle.bandwidth_cap_bytes_per_s(),
+        )
+        sample = memspot.step(
+            result.read_bytes_per_s,
+            result.write_bytes_per_s,
+            result.heating_sum,
+            dt,
+        )
+        now += dt
+        trace.append(now, sample.amb_c, sample.dram_c, sample.ambient_c)
+        card.sample(now, {"amb": sample.amb_c, "inlet": sample.ambient_c})
+    return trace, card

@@ -1,0 +1,93 @@
+"""Thermal sensor emulation.
+
+The measured platforms of Chapter 5 read AMB temperatures through sensors
+embedded in each FBDIMM: the reading is reported to the memory controller
+every 1344 bus cycles, is quantized, and occasionally produces high noise
+spikes (the paper discards the hottest 0.5% of samples to remove them,
+§5.4.1).  :class:`ThermalSensor` reproduces those artifacts so the DTM
+policies observe realistic, imperfect temperatures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class ThermalSensor:
+    """A sampled, quantized, occasionally-noisy temperature sensor.
+
+    Args:
+        period_s: minimum time between fresh readings; between readings
+            the sensor returns the stale value (the AMB sensor refreshes
+            every 1344 bus cycles ~ 4 us at 333 MHz, effectively
+            continuous at DTM timescales, but OS-level polling is 1 s).
+        quantization_c: reading granularity in degC (0 = exact).
+        spike_probability: chance that a reading is a noise spike.
+        spike_magnitude_c: size of a spike, added to the true value.
+        seed: RNG seed for reproducible noise.
+    """
+
+    def __init__(
+        self,
+        period_s: float = 0.0,
+        quantization_c: float = 0.0,
+        spike_probability: float = 0.0,
+        spike_magnitude_c: float = 10.0,
+        seed: int | None = 0,
+    ) -> None:
+        if period_s < 0:
+            raise ConfigurationError("sensor period must be non-negative")
+        if quantization_c < 0:
+            raise ConfigurationError("quantization must be non-negative")
+        if not 0.0 <= spike_probability <= 1.0:
+            raise ConfigurationError("spike probability must be within [0, 1]")
+        self._period_s = period_s
+        self._quantization_c = quantization_c
+        self._spike_probability = spike_probability
+        self._spike_magnitude_c = spike_magnitude_c
+        self._rng = random.Random(seed)
+        self._last_sample_time_s: float | None = None
+        self._last_reading_c: float | None = None
+
+    def read(self, true_temperature_c: float, now_s: float) -> float:
+        """Return the sensor's reading of ``true_temperature_c`` at ``now_s``.
+
+        Repeated calls within one sampling period return the stale value.
+        """
+        stale = (
+            self._last_sample_time_s is not None
+            and now_s - self._last_sample_time_s < self._period_s
+            and self._last_reading_c is not None
+        )
+        if stale:
+            return self._last_reading_c  # type: ignore[return-value]
+        reading = true_temperature_c
+        if self._spike_probability and self._rng.random() < self._spike_probability:
+            reading += self._spike_magnitude_c
+        if self._quantization_c:
+            steps = round(reading / self._quantization_c)
+            reading = steps * self._quantization_c
+        self._last_sample_time_s = now_s
+        self._last_reading_c = reading
+        return reading
+
+    def reset(self) -> None:
+        """Forget the stale reading (e.g. across experiment runs)."""
+        self._last_sample_time_s = None
+        self._last_reading_c = None
+
+
+def despike(samples: list[float], drop_fraction: float = 0.005) -> list[float]:
+    """Drop the hottest ``drop_fraction`` of samples (§5.4.1 methodology).
+
+    The paper excludes the 0.5% highest temperature samples to remove
+    sensor noise spikes before averaging.
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ConfigurationError("drop fraction must be within [0, 1)")
+    if not samples:
+        return []
+    keep = max(1, int(len(samples) * (1.0 - drop_fraction)))
+    return sorted(samples)[:keep]

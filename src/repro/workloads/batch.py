@@ -1,0 +1,158 @@
+"""Batch-job model of the paper's long-running experiments.
+
+"For each workload W, its corresponding batch job J mixes multiple copies
+(fifty in our experiments) of every application Ai contained in the
+workload.  When one application finishes its execution and releases its
+occupied processor core, a waiting application is assigned to the core in
+a round-robin way." (§4.3.2)
+
+:class:`BatchScheduler` implements exactly that: a queue interleaving the
+copies round-robin over the mix's applications, core slots that hold one
+job each, and slot refill on completion.  The number of *simulated* copies
+is a parameter (the benchmark suite defaults to a scaled-down count so it
+finishes on a laptop; shapes are scale-invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.profiles import AppProfile
+
+
+@dataclass
+class BatchJob:
+    """One copy of an application inside a batch job."""
+
+    app: AppProfile
+    copy_index: int
+    remaining_instructions: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.remaining_instructions = self.app.instructions
+
+    @property
+    def done(self) -> bool:
+        """Whether this copy has retired all its instructions."""
+        return self.remaining_instructions <= 0.0
+
+    def advance(self, instructions: float) -> float:
+        """Retire instructions; returns the unused surplus (>= 0)."""
+        if instructions < 0:
+            raise SchedulingError("cannot advance by negative instructions")
+        surplus = max(0.0, instructions - self.remaining_instructions)
+        self.remaining_instructions = max(0.0, self.remaining_instructions - instructions)
+        return surplus
+
+
+class BatchScheduler:
+    """Round-robin batch scheduler over a fixed number of core slots.
+
+    Args:
+        mix: the workload mix.
+        copies: copies of every application in the batch.
+        cores: number of core slots.
+    """
+
+    def __init__(self, mix: WorkloadMix, copies: int, cores: int) -> None:
+        if copies < 1:
+            raise SchedulingError("need at least one copy of each application")
+        if cores < 1:
+            raise SchedulingError("need at least one core slot")
+        self._mix = mix
+        self._cores = cores
+        # Interleave copies round-robin over applications:
+        # A1#0, A2#0, ..., An#0, A1#1, A2#1, ...
+        self._queue: list[BatchJob] = [
+            BatchJob(app=app, copy_index=copy)
+            for copy in range(copies)
+            for app in mix.apps
+        ]
+        self._total_jobs = len(self._queue)
+        self._slots: list[BatchJob | None] = [None] * cores
+        self._finished: list[BatchJob] = []
+        self._fill_slots()
+
+    def _fill_slots(self) -> None:
+        for index in range(self._cores):
+            if self._slots[index] is None and self._queue:
+                self._slots[index] = self._queue.pop(0)
+
+    @property
+    def cores(self) -> int:
+        """Number of core slots."""
+        return self._cores
+
+    @property
+    def total_jobs(self) -> int:
+        """Total job copies in the batch."""
+        return self._total_jobs
+
+    @property
+    def finished_jobs(self) -> int:
+        """Jobs completed so far."""
+        return len(self._finished)
+
+    @property
+    def waiting_jobs(self) -> int:
+        """Jobs not yet assigned to any slot."""
+        return len(self._queue)
+
+    @property
+    def done(self) -> bool:
+        """Whether every job has completed."""
+        return len(self._finished) == self._total_jobs
+
+    def job_at(self, slot: int) -> BatchJob | None:
+        """The job currently occupying a slot (None when drained)."""
+        return self._slots[slot]
+
+    def occupied_slots(self) -> list[int]:
+        """Slots currently holding a job."""
+        return [i for i, job in enumerate(self._slots) if job is not None]
+
+    def running_apps(self, active_slots: list[int]) -> dict[int, AppProfile]:
+        """Map of slot -> application for the slots that execute now."""
+        result: dict[int, AppProfile] = {}
+        for slot in active_slots:
+            if not 0 <= slot < self._cores:
+                raise SchedulingError(f"slot {slot} out of range")
+            job = self._slots[slot]
+            if job is not None:
+                result[slot] = job.app
+        return result
+
+    def advance(self, progress: dict[int, float]) -> list[BatchJob]:
+        """Retire per-slot instruction progress; refill emptied slots.
+
+        Args:
+            progress: slot -> instructions retired this interval.
+
+        Returns:
+            Jobs that finished during the interval.
+        """
+        newly_finished: list[BatchJob] = []
+        for slot, instructions in progress.items():
+            job = self._slots[slot]
+            if job is None:
+                if instructions > 0:
+                    raise SchedulingError(f"progress reported for empty slot {slot}")
+                continue
+            job.advance(instructions)
+            if job.done:
+                newly_finished.append(job)
+                self._finished.append(job)
+                self._slots[slot] = None
+        if newly_finished:
+            self._fill_slots()
+        return newly_finished
+
+    def remaining_instructions(self) -> float:
+        """Instructions left across slots and queue (progress metric)."""
+        in_slots = sum(
+            job.remaining_instructions for job in self._slots if job is not None
+        )
+        in_queue = sum(job.remaining_instructions for job in self._queue)
+        return in_slots + in_queue

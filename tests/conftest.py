@@ -1,0 +1,27 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.windowmodel import WindowModel
+from repro.testbed.performance import ServerWindowModel
+from repro.testbed.platforms import PE1950, SR1500AL
+
+
+@pytest.fixture(scope="session")
+def window_model() -> WindowModel:
+    """One memoized level-1 model shared by all integration tests."""
+    return WindowModel()
+
+
+@pytest.fixture(scope="session")
+def pe1950_model() -> ServerWindowModel:
+    """Shared PE1950 socket-aware model."""
+    return ServerWindowModel(PE1950)
+
+
+@pytest.fixture(scope="session")
+def sr1500al_model() -> ServerWindowModel:
+    """Shared SR1500AL socket-aware model."""
+    return ServerWindowModel(SR1500AL)

@@ -1,0 +1,192 @@
+"""Cache substrate: LRU simulator, MRCs, sharing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.mrc import MissRatioCurve, measured_mrc
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.sharing import CacheClient, SharedCacheModel
+from repro.errors import ConfigurationError
+
+MB = 1024 * 1024
+
+
+def test_cold_miss_then_hit():
+    cache = SetAssociativeCache(64 * 1024, ways=8)
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.miss_ratio == pytest.approx(0.5)
+
+
+def test_lru_eviction_order():
+    cache = SetAssociativeCache(2 * 64, ways=2, line_bytes=64)  # 1 set, 2 ways
+    cache.access(0)
+    cache.access(64)
+    cache.access(0)  # refresh line 0
+    cache.access(128)  # evicts line 64 (LRU)
+    assert cache.access(0)
+    assert not cache.access(64)
+
+
+def test_dirty_eviction_counts_writeback():
+    cache = SetAssociativeCache(2 * 64, ways=2, line_bytes=64)
+    cache.access(0, is_write=True)
+    cache.access(64)
+    cache.access(128)  # evicts dirty line 0
+    assert cache.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = SetAssociativeCache(2 * 64, ways=2, line_bytes=64)
+    cache.access(0)
+    cache.access(64)
+    cache.access(128)
+    assert cache.writebacks == 0
+
+
+def test_occupancy_bounded_by_capacity():
+    cache = SetAssociativeCache(64 * 1024, ways=8)
+    for line in range(10000):
+        cache.access(line * 64)
+    assert cache.occupancy() <= 64 * 1024 // 64
+
+
+def test_streaming_misses_everything():
+    cache = SetAssociativeCache(64 * 1024, ways=8)
+    for line in range(5000):
+        cache.access(line * 64)
+    assert cache.miss_ratio == 1.0
+
+
+def test_working_set_fits():
+    cache = SetAssociativeCache(64 * 1024, ways=8)
+    lines = 64 * 1024 // 64 // 2  # half capacity
+    for _ in range(10):
+        for line in range(lines):
+            cache.access(line * 64)
+    assert cache.miss_ratio < 0.11  # only the cold pass misses
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        SetAssociativeCache(1000, ways=3)  # not a multiple
+    with pytest.raises(ConfigurationError):
+        SetAssociativeCache(3 * 64 * 8, ways=8)  # sets not power of two
+
+
+def test_mrc_monotone_non_increasing():
+    curve = MissRatioCurve(m_peak=0.8, m_floor=0.2, c_half_bytes=1 * MB, alpha=1.3)
+    capacities = [0.25 * MB, 0.5 * MB, 1 * MB, 2 * MB, 4 * MB, 8 * MB]
+    ratios = [curve.miss_ratio(c) for c in capacities]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_mrc_limits():
+    curve = MissRatioCurve(m_peak=0.8, m_floor=0.2, c_half_bytes=1 * MB)
+    assert curve.miss_ratio(0) == pytest.approx(0.8)
+    assert curve.miss_ratio(1 * MB) == pytest.approx(0.5)  # halfway at c_half
+    assert curve.miss_ratio(1e15) == pytest.approx(0.2, abs=1e-3)
+
+
+def test_mrc_streaming_detection():
+    streaming = MissRatioCurve(m_peak=0.8, m_floor=0.79, c_half_bytes=1 * MB)
+    sensitive = MissRatioCurve(m_peak=0.8, m_floor=0.2, c_half_bytes=1 * MB)
+    assert streaming.is_streaming()
+    assert not sensitive.is_streaming()
+
+
+def test_mrc_validation():
+    with pytest.raises(ConfigurationError):
+        MissRatioCurve(m_peak=0.5, m_floor=0.6, c_half_bytes=1 * MB)
+    with pytest.raises(ConfigurationError):
+        MissRatioCurve(m_peak=0.5, m_floor=0.1, c_half_bytes=0.0)
+
+
+def test_measured_mrc_monotone():
+    # A looping working set measured at growing capacities behaves like
+    # a real cache: miss ratio non-increasing.
+    trace = [(i % 3000) * 64 for i in range(30000)]
+    results = measured_mrc(trace, [32 * 1024, 64 * 1024, 256 * 1024])
+    values = [results[c] for c in sorted(results)]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_single_client_gets_whole_cache():
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB)
+    [share] = model.solve([CacheClient("a", 1e9, curve)])
+    assert share.capacity_bytes == pytest.approx(4 * MB)
+
+
+def test_shares_sum_to_capacity():
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB)
+    clients = [CacheClient(f"c{i}", 1e9, curve) for i in range(4)]
+    shares = model.solve(clients)
+    assert sum(s.capacity_bytes for s in shares) == pytest.approx(4 * MB, rel=1e-6)
+
+
+def test_equal_clients_get_equal_shares():
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB)
+    shares = model.solve([CacheClient("a", 1e9, curve), CacheClient("b", 1e9, curve)])
+    assert shares[0].capacity_bytes == pytest.approx(shares[1].capacity_bytes, rel=1e-6)
+
+
+def test_hungrier_client_takes_more():
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB)
+    shares = model.solve(
+        [CacheClient("hungry", 4e9, curve), CacheClient("light", 1e9, curve)]
+    )
+    by_name = {s.name: s for s in shares}
+    assert by_name["hungry"].capacity_bytes > by_name["light"].capacity_bytes
+
+
+def test_idle_client_holds_nothing():
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB)
+    shares = model.solve([CacheClient("busy", 1e9, curve), CacheClient("idle", 0.0, curve)])
+    by_name = {s.name: s for s in shares}
+    assert by_name["idle"].capacity_bytes == 0.0
+    assert by_name["busy"].capacity_bytes == pytest.approx(4 * MB)
+
+
+def test_fewer_clients_lower_miss_ratio():
+    """The DTM-ACG effect: removing co-runners lowers everyone's miss
+    ratio through bigger shares."""
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB, alpha=1.3)
+    four = model.solve([CacheClient(f"c{i}", 1e9, curve) for i in range(4)])
+    two = model.solve([CacheClient(f"c{i}", 1e9, curve) for i in range(2)])
+    assert two[0].miss_ratio < four[0].miss_ratio
+
+
+def test_total_miss_rate_decreases_with_fewer_clients():
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.8, 0.2, 1 * MB, alpha=1.3)
+    four = model.total_miss_rate_per_s(
+        [CacheClient(f"c{i}", 1e9, curve) for i in range(4)]
+    )
+    two = model.total_miss_rate_per_s(
+        [CacheClient(f"c{i}", 1e9, curve) for i in range(2)]
+    )
+    # Aggregate miss rate per client is lower with fewer co-runners.
+    assert two / 2 < four / 4
+
+
+def test_empty_client_list():
+    assert SharedCacheModel(4 * MB).solve([]) == []
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.lists(st.floats(min_value=1e6, max_value=1e10), min_size=1, max_size=4),
+)
+def test_shares_never_exceed_capacity(rates):
+    model = SharedCacheModel(4 * MB)
+    curve = MissRatioCurve(0.9, 0.1, 1 * MB)
+    clients = [CacheClient(f"c{i}", rate, curve) for i, rate in enumerate(rates)]
+    shares = model.solve(clients)
+    assert sum(s.capacity_bytes for s in shares) <= 4 * MB * 1.001
+    assert all(0 <= s.miss_ratio <= 1 for s in shares)

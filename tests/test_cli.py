@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_simulate_command(capsys):
+    code = main(["simulate", "--mix", "W1", "--policy", "ts", "--copies", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DTM-TS" in out
+    assert "peak AMB" in out
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "--mix", "W1", "--copies", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "No-limit" in out
+    assert "DTM-ACG" in out
+
+
+def test_server_command(capsys):
+    code = main(["server", "--platform", "PE1950", "--mix", "W1",
+                 "--policy", "bw", "--copies", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PE1950" in out
+    assert "inlet" in out
+
+
+def test_homogeneous_command(capsys):
+    code = main(["homogeneous", "--platform", "SR1500AL", "--app", "swim",
+                 "--duration", "60"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "swim" in out
+    assert "AMB" in out
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--policy", "warp"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,78 @@
+"""Address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.errors import ConfigurationError
+
+
+def test_consecutive_lines_rotate_channels():
+    mapper = AddressMapper(channels=4)
+    channels = [mapper.decode(line * 64).channel for line in range(8)]
+    assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_dimm_rotates_after_channels():
+    mapper = AddressMapper(channels=4, dimms_per_channel=4)
+    assert mapper.decode(0).dimm == 0
+    assert mapper.decode(4 * 64).dimm == 1
+
+
+def test_offset_within_line_ignored():
+    mapper = AddressMapper()
+    assert mapper.decode(0) == mapper.decode(63)
+    assert mapper.decode(0) != mapper.decode(64)
+
+
+def test_capacity():
+    mapper = AddressMapper(
+        channels=2, dimms_per_channel=2, banks_per_dimm=4, rows=256, columns=16
+    )
+    assert mapper.capacity_bytes == 2 * 2 * 4 * 256 * 16 * 64
+
+
+def test_encode_decode_roundtrip_simple():
+    mapper = AddressMapper()
+    decoded = DecodedAddress(channel=2, dimm=3, bank=5, row=100, column=17)
+    assert mapper.decode(mapper.encode(decoded)) == decoded
+
+
+def test_encode_validates_ranges():
+    mapper = AddressMapper(channels=4)
+    with pytest.raises(ConfigurationError):
+        mapper.encode(DecodedAddress(channel=4, dimm=0, bank=0, row=0, column=0))
+
+
+def test_geometry_must_be_power_of_two():
+    with pytest.raises(ConfigurationError):
+        AddressMapper(channels=3)
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMapper().decode(-64)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_decode_fields_in_range(address):
+    mapper = AddressMapper()
+    d = mapper.decode(address)
+    assert 0 <= d.channel < 4
+    assert 0 <= d.dimm < 4
+    assert 0 <= d.bank < 8
+    assert 0 <= d.row < 16384
+    assert 0 <= d.column < 128
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=16383),
+    st.integers(min_value=0, max_value=127),
+)
+def test_roundtrip_property(channel, dimm, bank, row, column):
+    mapper = AddressMapper()
+    decoded = DecodedAddress(channel, dimm, bank, row, column)
+    assert mapper.decode(mapper.encode(decoded)) == decoded

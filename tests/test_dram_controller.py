@@ -1,0 +1,161 @@
+"""Memory controller scheduling, latency and throttling."""
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.commands import MemoryRequest, RequestKind
+from repro.dram.controller import ActivationThrottle, ChannelController
+from repro.dram.trafficgen import stream_trace
+from repro.errors import ConfigurationError
+
+
+def _controller(**kwargs) -> ChannelController:
+    return ChannelController(dimms=4, banks_per_dimm=8, **kwargs)
+
+
+def _decode_factory():
+    mapper = AddressMapper(channels=1, dimms_per_channel=4, banks_per_dimm=8)
+    return mapper.decode
+
+
+def test_single_read_latency_breakdown():
+    controller = _controller()
+    decode = _decode_factory()
+    request = MemoryRequest(RequestKind.READ, address=0, arrival_s=0.0)
+    [completed] = controller.run([request], decode)
+    # Must include controller overhead (12 ns) + frame + tRCD + tCL +
+    # burst + northbound return; comfortably between 45 and 120 ns.
+    assert 45e-9 < completed.latency_s < 120e-9
+
+
+def test_write_completes_without_northbound():
+    controller = _controller()
+    decode = _decode_factory()
+    request = MemoryRequest(RequestKind.WRITE, address=0, arrival_s=0.0)
+    [completed] = controller.run([request], decode)
+    assert controller.channel.northbound.frames_sent == 0
+    assert controller.channel.southbound.frames_sent == 2
+    assert completed.latency_s > 0
+
+
+def test_far_dimm_has_longer_latency():
+    """Variable read latency: DIMM 3 pays six extra AMB hops."""
+    controller = _controller()
+    decode = _decode_factory()
+    near = MemoryRequest(RequestKind.READ, address=0, arrival_s=0.0)  # dimm 0
+    [done_near] = controller.run([near], decode)
+    controller.reset()
+    far = MemoryRequest(RequestKind.READ, address=3 * 64, arrival_s=0.0)  # dimm 3
+    [done_far] = controller.run([far], decode)
+    assert done_far.latency_s > done_near.latency_s
+
+
+def test_stream_throughput_near_channel_peak():
+    controller = _controller()
+    decode = _decode_factory()
+    requests = stream_trace(count=2000, interarrival_s=0.0)
+    controller.run(requests, decode)
+    throughput = controller.stats.throughput_gbps()
+    # One channel's northbound peak is ~5.33 GB/s; the close-page
+    # pipeline across 4 DIMMs x 8 banks should come close.
+    assert throughput > 4.0
+    assert throughput <= 5.4
+
+
+def test_bank_conflict_stream_is_slow():
+    controller = _controller()
+    mapper = AddressMapper(channels=1, dimms_per_channel=4, banks_per_dimm=8)
+    # Same bank, new row every time: one access per tRC at best.
+    stride = 4 * 8 * 128 * 64  # dimms * banks * columns * line
+    requests = [
+        MemoryRequest(RequestKind.READ, address=i * stride, arrival_s=0.0)
+        for i in range(200)
+    ]
+    controller.run(requests, mapper.decode)
+    throughput = controller.stats.throughput_gbps()
+    # 32 B / 54 ns = 0.59 GB/s upper bound for one bank.
+    assert throughput < 0.7
+
+
+def test_amb_traffic_split_along_chain():
+    controller = _controller()
+    decode = _decode_factory()
+    requests = stream_trace(count=400, interarrival_s=10e-9)
+    controller.run(requests, decode)
+    ambs = controller.ambs
+    # Uniform interleaving: every AMB gets the same local traffic.
+    locals_ = [a.traffic.local_bytes for a in ambs]
+    assert max(locals_) == min(locals_)
+    # Bypass decreases along the chain; last AMB sees none.
+    bypasses = [a.traffic.bypass_bytes for a in ambs]
+    assert bypasses[0] > bypasses[1] > bypasses[2] > bypasses[3]
+    assert bypasses[3] == 0
+
+
+def test_activation_throttle_caps_throughput():
+    window_s = 0.066
+    controller = _controller(
+        activation_cap_per_window=1000, throttle_window_s=window_s
+    )
+    decode = _decode_factory()
+    requests = stream_trace(count=3000, interarrival_s=0.0)
+    completed = controller.run(requests, decode)
+    # No window may carry more than the programmed activation count.
+    per_window: dict[int, int] = {}
+    for done in completed:
+        index = int(done.activate_s // window_s)
+        per_window[index] = per_window.get(index, 0) + 1
+    assert max(per_window.values()) <= 1000
+    # And the cap actually spreads the burst over multiple windows.
+    assert len(per_window) == 3
+
+
+def test_throttle_earliest_allowed_defers_to_next_window():
+    throttle = ActivationThrottle(max_activations=2, window_s=1.0)
+    assert throttle.earliest_allowed(0.1) == 0.1
+    throttle.record(0.1)
+    throttle.record(0.2)
+    assert throttle.earliest_allowed(0.3) == 1.0  # cap reached
+    throttle.record(1.0)
+    assert throttle.earliest_allowed(1.1) == 1.1  # new window
+
+
+def test_throttle_disabled_by_none():
+    throttle = ActivationThrottle(max_activations=None)
+    assert not throttle.enabled
+    assert throttle.earliest_allowed(5.0) == 5.0
+
+
+def test_throttle_validation():
+    with pytest.raises(ConfigurationError):
+        ActivationThrottle(max_activations=0)
+    with pytest.raises(ConfigurationError):
+        ActivationThrottle(max_activations=10, window_s=0.0)
+
+
+def test_completions_sorted_by_time():
+    controller = _controller()
+    decode = _decode_factory()
+    requests = stream_trace(count=100, interarrival_s=1e-9)
+    completed = controller.run(requests, decode)
+    times = [c.completion_s for c in completed]
+    assert times == sorted(times)
+
+
+def test_stats_percentiles():
+    controller = _controller()
+    decode = _decode_factory()
+    requests = stream_trace(count=500, interarrival_s=0.0)
+    controller.run(requests, decode)
+    p50 = controller.stats.percentile_latency_s(0.5)
+    p99 = controller.stats.percentile_latency_s(0.99)
+    assert p99 >= p50 > 0
+
+
+def test_reset_clears_everything():
+    controller = _controller()
+    decode = _decode_factory()
+    controller.run(stream_trace(count=10), decode)
+    controller.reset()
+    assert controller.stats.total_requests == 0
+    assert controller.ambs[0].traffic.local_bytes == 0

@@ -1,0 +1,75 @@
+"""Table 4.1 timing parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.dram_timing import DDR2Timing, FBDIMMChannelParams, SimulatedSystemParams
+
+
+def test_default_timing_is_555():
+    t = DDR2Timing()
+    assert t.trcd_ns == 15.0
+    assert t.tcl_ns == 15.0
+    assert t.trp_ns == 15.0
+
+
+def test_secondary_timings_match_table_4_1():
+    t = DDR2Timing()
+    assert (t.tras_ns, t.trc_ns, t.twtr_ns, t.twl_ns) == (39.0, 54.0, 9.0, 12.0)
+    assert (t.twpd_ns, t.trpd_ns, t.trrd_ns) == (36.0, 9.0, 9.0)
+
+
+def test_clock_period_667():
+    assert DDR2Timing().clock_period_ns == pytest.approx(2000.0 / 667.0)
+
+
+def test_burst_duration_is_two_clocks():
+    t = DDR2Timing()
+    # Burst of 4 at DDR = 2 bus clocks.
+    assert t.burst_duration_ns == pytest.approx(2 * t.clock_period_ns)
+
+
+def test_in_cycles_rounds_up():
+    t = DDR2Timing()
+    assert t.in_cycles(15.0) == 6  # 15 / 2.999 -> 5.003 -> 6
+    assert t.in_cycles(0.0) == 0
+
+
+def test_trc_must_cover_tras():
+    with pytest.raises(ConfigurationError):
+        DDR2Timing(tras_ns=60.0, trc_ns=54.0)
+
+
+def test_northbound_matches_ddr2_channel():
+    t = DDR2Timing()
+    c = FBDIMMChannelParams()
+    # §3.2: the northbound link matches one DDR2 channel: 667 MT * 8 B.
+    assert c.northbound_peak_bytes_per_s(t) == pytest.approx(667e6 * 8, rel=1e-3)
+
+
+def test_southbound_is_half_northbound():
+    t = DDR2Timing()
+    c = FBDIMMChannelParams()
+    ratio = c.southbound_peak_bytes_per_s(t) / c.northbound_peak_bytes_per_s(t)
+    assert ratio == pytest.approx(0.5)
+
+
+def test_system_peak_bandwidth_about_21gbps():
+    # §2.2: "peak memory bandwidth of 21 GB/s".
+    params = SimulatedSystemParams()
+    assert params.peak_read_bandwidth_bytes_per_s == pytest.approx(21.3e9, rel=0.02)
+
+
+def test_system_dimm_count():
+    assert SimulatedSystemParams().total_dimms == 16
+
+
+def test_system_rejects_mismatched_channels():
+    with pytest.raises(ConfigurationError):
+        SimulatedSystemParams(logical_channels=3, physical_channels=4)
+
+
+def test_dtm_interval_defaults():
+    params = SimulatedSystemParams()
+    assert params.dtm_interval_s == pytest.approx(0.010)
+    assert params.dtm_overhead_s == pytest.approx(25e-6)

@@ -1,0 +1,105 @@
+"""Power-model constants (Table 3.1, Eq. 3.1, Table 4.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.power_params import (
+    AMBPowerParams,
+    DRAMPowerParams,
+    ProcessorPowerTable,
+    SIMULATED_CPU_POWER,
+    XEON_5160_POWER,
+)
+
+
+def test_dram_power_constants():
+    p = DRAMPowerParams()
+    assert p.static_w == pytest.approx(0.98)
+    assert p.alpha1_w_per_gbps == pytest.approx(1.12)
+    assert p.alpha2_w_per_gbps == pytest.approx(1.16)
+
+
+def test_amb_power_constants_match_table_3_1():
+    p = AMBPowerParams()
+    assert p.idle_last_dimm_w == pytest.approx(4.0)
+    assert p.idle_other_dimm_w == pytest.approx(5.1)
+    assert p.beta_w_per_gbps == pytest.approx(0.19)
+    assert p.gamma_w_per_gbps == pytest.approx(0.75)
+
+
+def test_amb_idle_depends_on_position():
+    p = AMBPowerParams()
+    assert p.idle_power_w(is_last_dimm=True) < p.idle_power_w(is_last_dimm=False)
+
+
+def test_amb_local_costs_more_than_bypass():
+    with pytest.raises(ConfigurationError):
+        AMBPowerParams(beta_w_per_gbps=0.8, gamma_w_per_gbps=0.2)
+
+
+def test_acg_power_ladder_matches_table_4_4():
+    t = SIMULATED_CPU_POWER
+    assert t.acg_power_w(0) == pytest.approx(62.0)
+    assert t.acg_power_w(1) == pytest.approx(111.5)
+    assert t.acg_power_w(2) == pytest.approx(161.0)
+    assert t.acg_power_w(3) == pytest.approx(210.5)
+    assert t.acg_power_w(4) == pytest.approx(260.0)
+
+
+def test_cdvfs_power_ladder_matches_table_4_4():
+    t = SIMULATED_CPU_POWER
+    assert t.cdvfs_power_at_level(0) == pytest.approx(260.0)
+    assert t.cdvfs_power_at_level(1) == pytest.approx(193.4)
+    assert t.cdvfs_power_at_level(2) == pytest.approx(116.5)
+    assert t.cdvfs_power_at_level(3) == pytest.approx(80.6)
+    assert t.cdvfs_power_at_level(4) == pytest.approx(62.0)  # stopped
+
+
+def test_operating_points_match_table_4_1():
+    points = SIMULATED_CPU_POWER.operating_points
+    frequencies = [p.frequency_hz for p in points]
+    voltages = [p.voltage_v for p in points]
+    assert frequencies == [3.2e9, 2.8e9, 1.6e9, 0.8e9]
+    assert voltages == [1.55, 1.35, 1.15, 0.95]
+
+
+def test_acg_power_rejects_invalid_count():
+    with pytest.raises(ConfigurationError):
+        SIMULATED_CPU_POWER.acg_power_w(5)
+
+
+def test_cdvfs_power_rejects_invalid_level():
+    with pytest.raises(ConfigurationError):
+        SIMULATED_CPU_POWER.cdvfs_power_at_level(9)
+
+
+def test_power_table_requires_matching_lengths():
+    with pytest.raises(ConfigurationError):
+        ProcessorPowerTable(cdvfs_power_w=(260.0, 100.0))
+
+
+def test_xeon_ladder_matches_section_5_2_1():
+    points = XEON_5160_POWER.operating_points
+    assert [round(p.frequency_hz / 1e9, 3) for p in points] == [3.0, 2.667, 2.333, 2.0]
+    assert [p.voltage_v for p in points] == [1.2125, 1.1625, 1.1000, 1.0375]
+
+
+def test_xeon_power_scales_with_voltage_and_frequency():
+    full = XEON_5160_POWER.power_w([1.0] * 4, level=0)
+    slow = XEON_5160_POWER.power_w([1.0] * 4, level=3)
+    assert slow < full
+    # Dynamic part scales by (V/Vmax)^2 * (f/fmax).
+    expected_scale = (1.0375 / 1.2125) ** 2 * (2.0 / 3.0)
+    dynamic_full = full - XEON_5160_POWER.idle_w
+    dynamic_slow = slow - XEON_5160_POWER.idle_w
+    assert dynamic_slow / dynamic_full == pytest.approx(expected_scale, rel=1e-6)
+
+
+def test_xeon_power_idle_when_no_activity():
+    assert XEON_5160_POWER.power_w([], level=0) == pytest.approx(XEON_5160_POWER.idle_w)
+
+
+def test_xeon_utilization_clamped():
+    over = XEON_5160_POWER.power_w([2.0], level=0)
+    one = XEON_5160_POWER.power_w([1.0], level=0)
+    assert over == pytest.approx(one)

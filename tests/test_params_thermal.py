@@ -1,0 +1,100 @@
+"""Thermal constants (Tables 3.2 and 3.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.thermal_params import (
+    AOHS_1_0,
+    AOHS_1_5,
+    AOHS_3_0,
+    COOLING_CONFIGS,
+    FDHS_1_0,
+    FDHS_1_5,
+    FDHS_3_0,
+    INTEGRATED_AMBIENT,
+    ISOLATED_AMBIENT,
+    AmbientModelParams,
+    CoolingConfig,
+    ThermalResistances,
+)
+
+
+def test_table_3_2_bold_columns():
+    # The two configurations the paper's experiments use.
+    r = AOHS_1_5.resistances
+    assert (r.psi_amb, r.psi_dram_amb, r.psi_dram, r.psi_amb_dram) == (9.3, 3.4, 4.0, 4.1)
+    r = FDHS_1_0.resistances
+    assert (r.psi_amb, r.psi_dram_amb, r.psi_dram, r.psi_amb_dram) == (8.0, 4.4, 4.0, 5.7)
+
+
+def test_table_3_2_other_columns():
+    assert AOHS_1_0.resistances.psi_amb == 11.2
+    assert AOHS_3_0.resistances.psi_amb == 6.6
+    assert FDHS_1_5.resistances.psi_amb == 7.0
+    assert FDHS_3_0.resistances.psi_amb == 5.5
+
+
+def test_time_constants():
+    assert AOHS_1_5.tau_amb_s == 50.0
+    assert AOHS_1_5.tau_dram_s == 100.0
+
+
+def test_faster_air_cools_better():
+    # Within a spreader type, higher velocity means lower resistance.
+    assert AOHS_1_0.resistances.psi_amb > AOHS_1_5.resistances.psi_amb > AOHS_3_0.resistances.psi_amb
+    assert FDHS_1_0.resistances.psi_amb > FDHS_1_5.resistances.psi_amb > FDHS_3_0.resistances.psi_amb
+
+
+def test_fdhs_spreads_amb_heat_better_than_aohs():
+    # The full-DIMM spreader gives the AMB a lower resistance to ambient
+    # at matched velocity (Table 3.2).
+    assert FDHS_1_0.resistances.psi_amb < AOHS_1_0.resistances.psi_amb
+    assert FDHS_3_0.resistances.psi_amb < AOHS_3_0.resistances.psi_amb
+
+
+def test_registry_has_all_six():
+    assert len(COOLING_CONFIGS) == 6
+    assert "AOHS_1.5" in COOLING_CONFIGS
+    assert "FDHS_1.0" in COOLING_CONFIGS
+
+
+def test_table_3_3_isolated():
+    assert ISOLATED_AMBIENT.interaction == 0.0
+    assert ISOLATED_AMBIENT.inlet_for("FDHS_1.0") == 45.0
+    assert ISOLATED_AMBIENT.inlet_for("AOHS_1.5") == 50.0
+
+
+def test_table_3_3_integrated():
+    assert INTEGRATED_AMBIENT.interaction == 1.5
+    assert INTEGRATED_AMBIENT.inlet_for("FDHS_1.0") == 40.0
+    assert INTEGRATED_AMBIENT.inlet_for("AOHS_1.5") == 45.0
+    assert INTEGRATED_AMBIENT.tau_ambient_s == 20.0
+
+
+def test_with_interaction_copy():
+    stronger = INTEGRATED_AMBIENT.with_interaction(2.0)
+    assert stronger.interaction == 2.0
+    assert INTEGRATED_AMBIENT.interaction == 1.5  # original unchanged
+    assert stronger.inlet_for("FDHS_1.0") == 40.0
+
+
+def test_unknown_cooling_inlet_raises():
+    with pytest.raises(ConfigurationError):
+        ISOLATED_AMBIENT.inlet_for("WATERBLOCK_9000")
+
+
+def test_resistances_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        ThermalResistances(psi_amb=0.0, psi_dram_amb=1.0, psi_dram=1.0, psi_amb_dram=1.0)
+
+
+def test_cooling_config_validation():
+    with pytest.raises(ConfigurationError):
+        CoolingConfig(
+            name="bad",
+            heat_spreader="NONE",
+            air_velocity_m_per_s=1.0,
+            resistances=AOHS_1_5.resistances,
+        )
+    with pytest.raises(ConfigurationError):
+        AmbientModelParams(inlet_by_cooling={}, interaction=-1.0)

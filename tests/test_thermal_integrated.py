@@ -1,0 +1,92 @@
+"""Integrated ambient model (Eq. 3.6)."""
+
+import pytest
+
+from repro.params.thermal_params import INTEGRATED_AMBIENT, ISOLATED_AMBIENT
+from repro.thermal.integrated import AmbientModel, CoreActivity, stable_ambient_c
+
+
+def _activities(count=4, voltage=1.55, ipc=0.5):
+    return [CoreActivity(voltage_v=voltage, reference_ipc=ipc) for _ in range(count)]
+
+
+def test_stable_ambient_equation():
+    # Eq. 3.6: inlet + interaction * sum(V * IPC).
+    value = stable_ambient_c(INTEGRATED_AMBIENT, "AOHS_1.5", _activities())
+    assert value == pytest.approx(45.0 + 1.5 * 4 * 1.55 * 0.5)
+
+
+def test_isolated_model_ignores_cpu():
+    model = AmbientModel(ISOLATED_AMBIENT, "AOHS_1.5")
+    before = model.ambient_c
+    model.step(_activities(ipc=2.0), 100.0)
+    assert model.ambient_c == pytest.approx(before)
+    assert model.ambient_c == pytest.approx(50.0)
+
+
+def test_integrated_model_heats_with_activity():
+    model = AmbientModel(INTEGRATED_AMBIENT, "AOHS_1.5")
+    model.step(_activities(), 100.0)
+    assert model.ambient_c > 45.0
+
+
+def test_integrated_converges_to_stable():
+    model = AmbientModel(INTEGRATED_AMBIENT, "AOHS_1.5")
+    for _ in range(1000):
+        model.step(_activities(), 1.0)
+    expected = stable_ambient_c(INTEGRATED_AMBIENT, "AOHS_1.5", _activities())
+    assert model.ambient_c == pytest.approx(expected, abs=0.01)
+
+
+def test_tau_is_20_seconds():
+    model = AmbientModel(INTEGRATED_AMBIENT, "AOHS_1.5")
+    model.step(_activities(), 20.0)
+    stable = stable_ambient_c(INTEGRATED_AMBIENT, "AOHS_1.5", _activities())
+    progress = (model.ambient_c - 45.0) / (stable - 45.0)
+    assert progress == pytest.approx(1 - 2.718281828 ** -1, abs=0.01)
+
+
+def test_dvfs_reduces_heating():
+    # Lower voltage and lower reference IPC both reduce the stable ambient.
+    fast = stable_ambient_c(
+        INTEGRATED_AMBIENT, "AOHS_1.5", _activities(voltage=1.55, ipc=0.5)
+    )
+    slow = stable_ambient_c(
+        INTEGRATED_AMBIENT, "AOHS_1.5", _activities(voltage=1.15, ipc=0.3)
+    )
+    assert slow < fast
+
+
+def test_gated_cores_do_not_heat():
+    two = stable_ambient_c(INTEGRATED_AMBIENT, "AOHS_1.5", _activities(count=2))
+    four = stable_ambient_c(INTEGRATED_AMBIENT, "AOHS_1.5", _activities(count=4))
+    assert two < four
+
+
+def test_step_heating_fast_path_matches_step():
+    a = AmbientModel(INTEGRATED_AMBIENT, "AOHS_1.5")
+    b = AmbientModel(INTEGRATED_AMBIENT, "AOHS_1.5")
+    acts = _activities()
+    heating = sum(x.voltage_v * x.reference_ipc for x in acts)
+    for _ in range(50):
+        a.step(acts, 1.0)
+        b.step_heating(heating, 1.0)
+    assert a.ambient_c == pytest.approx(b.ambient_c, rel=1e-12)
+
+
+def test_reset_returns_to_inlet():
+    model = AmbientModel(INTEGRATED_AMBIENT, "FDHS_1.0")
+    model.step(_activities(), 100.0)
+    model.reset()
+    assert model.ambient_c == pytest.approx(40.0)
+
+
+def test_interaction_degree_scales_heating():
+    weak = INTEGRATED_AMBIENT.with_interaction(1.0)
+    strong = INTEGRATED_AMBIENT.with_interaction(2.0)
+    acts = _activities()
+    t_weak = stable_ambient_c(weak, "AOHS_1.5", acts)
+    t_strong = stable_ambient_c(strong, "AOHS_1.5", acts)
+    rise_weak = t_weak - 45.0
+    rise_strong = t_strong - 45.0
+    assert rise_strong == pytest.approx(2.0 * rise_weak)

@@ -1,0 +1,79 @@
+"""Isolated DIMM thermal model (Eqs. 3.3–3.5)."""
+
+import pytest
+
+from repro.params.thermal_params import AOHS_1_5, FDHS_1_0
+from repro.thermal.isolated import DimmThermalModel, stable_temperatures
+
+
+def test_stable_temperature_equations():
+    # Direct Eq. 3.3/3.4 evaluation with AOHS_1.5 resistances.
+    t = stable_temperatures(50.0, amb_power_w=6.0, dram_power_w=2.0, cooling=AOHS_1_5)
+    assert t.amb_c == pytest.approx(50.0 + 6.0 * 9.3 + 2.0 * 3.4)
+    assert t.dram_c == pytest.approx(50.0 + 6.0 * 4.1 + 2.0 * 4.0)
+
+
+def test_zero_power_stable_is_ambient():
+    t = stable_temperatures(45.0, 0.0, 0.0, FDHS_1_0)
+    assert t.amb_c == pytest.approx(45.0)
+    assert t.dram_c == pytest.approx(45.0)
+
+
+def test_amb_runs_hotter_than_dram_under_amb_heavy_power():
+    t = stable_temperatures(50.0, amb_power_w=6.0, dram_power_w=2.0, cooling=AOHS_1_5)
+    assert t.amb_c > t.dram_c
+
+
+def test_dynamic_approach_to_stable():
+    model = DimmThermalModel(AOHS_1_5, initial_ambient_c=50.0)
+    for _ in range(10000):
+        model.step(50.0, 6.0, 2.0, 0.1)
+    stable = stable_temperatures(50.0, 6.0, 2.0, AOHS_1_5)
+    assert model.temperatures.amb_c == pytest.approx(stable.amb_c, abs=0.01)
+    assert model.temperatures.dram_c == pytest.approx(stable.dram_c, abs=0.01)
+
+
+def test_amb_heats_faster_than_dram():
+    # tau_AMB = 50 s vs tau_DRAM = 100 s.
+    model = DimmThermalModel(AOHS_1_5, initial_ambient_c=50.0)
+    model.step(50.0, 5.0, 5.0, 25.0)
+    temps = model.temperatures
+    stable = stable_temperatures(50.0, 5.0, 5.0, AOHS_1_5)
+    amb_progress = (temps.amb_c - 50.0) / (stable.amb_c - 50.0)
+    dram_progress = (temps.dram_c - 50.0) / (stable.dram_c - 50.0)
+    assert amb_progress > dram_progress
+
+
+def test_cooling_when_power_drops():
+    model = DimmThermalModel(AOHS_1_5, initial_ambient_c=50.0)
+    for _ in range(100):
+        model.step(50.0, 8.0, 3.0, 1.0)
+    hot = model.temperatures.amb_c
+    model.step(50.0, 0.0, 0.0, 10.0)
+    assert model.temperatures.amb_c < hot
+
+
+def test_reset_to_specific_temperatures():
+    model = DimmThermalModel(AOHS_1_5, initial_ambient_c=50.0)
+    model.reset_to(100.7, 78.0)
+    assert model.temperatures.amb_c == pytest.approx(100.7)
+    assert model.temperatures.dram_c == pytest.approx(78.0)
+
+
+def test_ambient_rise_shifts_stable_linearly():
+    low = stable_temperatures(40.0, 5.0, 2.0, FDHS_1_0)
+    high = stable_temperatures(50.0, 5.0, 2.0, FDHS_1_0)
+    assert high.amb_c - low.amb_c == pytest.approx(10.0)
+    assert high.dram_c - low.dram_c == pytest.approx(10.0)
+
+
+def test_fdhs_limits_dram_first_aohs_limits_amb_first():
+    """The paper's Fig. 4.2 setup: under FDHS_1.0 the DRAM chips reach
+    their (lower) limit before the AMB reaches its own; under AOHS_1.5
+    the AMB is the binding constraint."""
+    amb_power, dram_power = 6.5, 2.5
+    fdhs = stable_temperatures(45.0, amb_power, dram_power, FDHS_1_0)
+    aohs = stable_temperatures(50.0, amb_power, dram_power, AOHS_1_5)
+    # Margins to the TDPs (AMB 110 / DRAM 85).
+    assert (85.0 - fdhs.dram_c) < (110.0 - fdhs.amb_c)
+    assert (110.0 - aohs.amb_c) < (85.0 - aohs.dram_c)

@@ -1,0 +1,75 @@
+"""Thermal sensor emulation and despiking."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.sensors import ThermalSensor, despike
+
+
+def test_exact_sensor_passthrough():
+    sensor = ThermalSensor()
+    assert sensor.read(85.3, 0.0) == pytest.approx(85.3)
+
+
+def test_quantization():
+    sensor = ThermalSensor(quantization_c=0.5)
+    assert sensor.read(85.26, 0.0) == pytest.approx(85.5)
+    sensor2 = ThermalSensor(quantization_c=1.0)
+    assert sensor2.read(85.26, 0.0) == pytest.approx(85.0)
+
+
+def test_stale_readings_within_period():
+    sensor = ThermalSensor(period_s=1.0)
+    first = sensor.read(80.0, 0.0)
+    stale = sensor.read(90.0, 0.5)
+    fresh = sensor.read(90.0, 1.5)
+    assert first == stale == pytest.approx(80.0)
+    assert fresh == pytest.approx(90.0)
+
+
+def test_spikes_appear_with_probability_one():
+    sensor = ThermalSensor(spike_probability=1.0, spike_magnitude_c=10.0)
+    assert sensor.read(80.0, 0.0) == pytest.approx(90.0)
+
+
+def test_spikes_reproducible_with_seed():
+    a = ThermalSensor(spike_probability=0.5, seed=42)
+    b = ThermalSensor(spike_probability=0.5, seed=42)
+    reads_a = [a.read(80.0, t) for t in range(100)]
+    reads_b = [b.read(80.0, t) for t in range(100)]
+    assert reads_a == reads_b
+
+
+def test_reset_forgets_stale_value():
+    sensor = ThermalSensor(period_s=10.0)
+    sensor.read(80.0, 0.0)
+    sensor.reset()
+    assert sensor.read(95.0, 1.0) == pytest.approx(95.0)
+
+
+def test_sensor_validation():
+    with pytest.raises(ConfigurationError):
+        ThermalSensor(period_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        ThermalSensor(spike_probability=1.5)
+
+
+def test_despike_drops_hottest_half_percent():
+    samples = [80.0] * 995 + [120.0] * 5
+    kept = despike(samples, drop_fraction=0.005)
+    assert max(kept) == pytest.approx(80.0)
+    assert len(kept) == 995
+
+
+def test_despike_keeps_everything_at_zero_fraction():
+    samples = [1.0, 2.0, 3.0]
+    assert len(despike(samples, 0.0)) == 3
+
+
+def test_despike_empty():
+    assert despike([]) == []
+
+
+def test_despike_validation():
+    with pytest.raises(ConfigurationError):
+        despike([1.0], drop_fraction=1.0)

@@ -1,0 +1,78 @@
+"""Design-space trace generation (the W x D product of §4.3.1)."""
+
+import pytest
+
+from repro.core.tracegen import DesignPoint, TraceLibrary, design_space
+from repro.workloads.mixes import get_mix
+
+
+def test_design_space_covers_ladders():
+    points = design_space()
+    core_counts = {p.active_cores for p in points}
+    assert core_counts == {0, 1, 2, 3, 4}
+    caps = {p.bandwidth_cap_bytes_per_s for p in points}
+    assert None in caps
+    assert 0.0 in caps
+
+
+def test_library_generates_entries(window_model):
+    library = TraceLibrary(get_mix("W1"), window_model=window_model)
+    points = [
+        DesignPoint(active_cores=4, dvfs_level=0, bandwidth_cap_bytes_per_s=None),
+        DesignPoint(active_cores=2, dvfs_level=0, bandwidth_cap_bytes_per_s=None),
+    ]
+    entries = library.generate(points)
+    # 4-of-4 apps: 1 combination; 2-of-4: 6 combinations.
+    assert len(entries) == 1 + 6
+
+
+def test_stopped_points_yield_zero_entries(window_model):
+    library = TraceLibrary(get_mix("W1"), window_model=window_model)
+    points = [DesignPoint(active_cores=0, dvfs_level=0, bandwidth_cap_bytes_per_s=None)]
+    [entry] = library.generate(points)
+    assert entry.app_names == ()
+    assert entry.result.instructions_per_s == 0.0
+
+
+def test_fewer_cores_entries_have_less_demand(window_model):
+    library = TraceLibrary(get_mix("W1"), window_model=window_model)
+    full = library.generate(
+        [DesignPoint(active_cores=4, dvfs_level=0, bandwidth_cap_bytes_per_s=None)]
+    )
+    half = library.generate(
+        [DesignPoint(active_cores=2, dvfs_level=0, bandwidth_cap_bytes_per_s=None)]
+    )
+    max_half = max(e.result.total_bytes_per_s for e in half)
+    assert max_half < full[0].result.total_bytes_per_s
+
+
+def test_export_schema(window_model):
+    library = TraceLibrary(get_mix("W1"), window_model=window_model)
+    points = [DesignPoint(active_cores=4, dvfs_level=1, bandwidth_cap_bytes_per_s=None)]
+    [record] = library.export(points)
+    for key in (
+        "apps",
+        "active_cores",
+        "dvfs_level",
+        "instructions_per_s",
+        "read_bytes_per_s",
+        "l2_misses_per_s",
+    ):
+        assert key in record
+    assert record["dvfs_level"] == 1
+
+
+def test_dvfs_levels_scale_demand(window_model):
+    library = TraceLibrary(get_mix("W1"), window_model=window_model)
+    fast = library.generate(
+        [DesignPoint(active_cores=4, dvfs_level=0, bandwidth_cap_bytes_per_s=None)]
+    )
+    slow = library.generate(
+        [DesignPoint(active_cores=4, dvfs_level=3, bandwidth_cap_bytes_per_s=None)]
+    )
+    assert slow[0].result.total_bytes_per_s < fast[0].result.total_bytes_per_s
+
+
+def test_design_point_validation():
+    with pytest.raises(Exception):
+        DesignPoint(active_cores=-1, dvfs_level=0, bandwidth_cap_bytes_per_s=None)

@@ -1,0 +1,170 @@
+"""Level-1 analytic window model."""
+
+import pytest
+
+from repro.core.windowmodel import MemoryEnvelope, WindowModel
+from repro.errors import ConfigurationError
+from repro.workloads.mixes import get_mix
+from repro.workloads.profiles import get_app
+
+F_MAX = 3.2e9
+
+
+def _model(**kwargs) -> WindowModel:
+    return WindowModel(**kwargs)
+
+
+def test_memory_off_means_no_progress():
+    model = _model()
+    result = model.evaluate([get_app("swim")] * 4, F_MAX, memory_on=False)
+    assert result.instructions_per_s == 0.0
+    assert result.total_bytes_per_s == 0.0
+
+
+def test_zero_cap_behaves_as_off():
+    model = _model()
+    result = model.evaluate([get_app("swim")], F_MAX, bandwidth_cap_bytes_per_s=0.0)
+    assert result.instructions_per_s == 0.0
+
+
+def test_solo_faster_than_shared_per_program():
+    model = _model()
+    solo = model.evaluate([get_app("swim")], F_MAX)
+    shared = model.evaluate([get_app("swim")] * 4, F_MAX)
+    assert solo.slots[0].instructions_per_s > shared.slots[0].instructions_per_s
+
+
+def test_cap_limits_throughput():
+    model = _model()
+    capped = model.evaluate([get_app("swim")] * 4, F_MAX, bandwidth_cap_bytes_per_s=6.4e9)
+    assert capped.total_bytes_per_s <= 6.4e9 * 1.01
+
+
+def test_tighter_cap_means_less_throughput_and_progress():
+    model = _model()
+    apps = [get_app("swim")] * 4
+    loose = model.evaluate(apps, F_MAX, bandwidth_cap_bytes_per_s=19.2e9)
+    tight = model.evaluate(apps, F_MAX, bandwidth_cap_bytes_per_s=6.4e9)
+    assert tight.total_bytes_per_s < loose.total_bytes_per_s
+    assert tight.instructions_per_s < loose.instructions_per_s
+
+
+def test_lower_frequency_reduces_traffic():
+    """CDVFS effect: fewer speculative accesses at lower core speed."""
+    model = _model()
+    apps = get_mix("W1").apps
+    fast = model.evaluate(apps, 3.2e9)
+    slow = model.evaluate(apps, 1.6e9)
+    assert slow.total_bytes_per_s < fast.total_bytes_per_s
+    # Traffic *per instruction* also drops (the speculation surcharge).
+    fast_per_instr = fast.total_bytes_per_s / fast.instructions_per_s
+    slow_per_instr = slow.total_bytes_per_s / slow.instructions_per_s
+    assert slow_per_instr < fast_per_instr
+
+
+def test_fewer_cores_reduce_traffic_per_instruction():
+    """ACG effect: two co-runners conflict less in the shared L2.
+
+    Compare copies of the *same* program so the per-instruction traffic
+    change isolates the cache-share effect.
+    """
+    model = _model()
+    swim = get_app("swim")
+    four = model.evaluate([swim] * 4, F_MAX)
+    two = model.evaluate([swim] * 2, F_MAX)
+    four_per_instr = four.total_bytes_per_s / four.instructions_per_s
+    two_per_instr = two.total_bytes_per_s / two.instructions_per_s
+    assert two_per_instr < four_per_instr
+
+
+def test_high_mixes_demand_over_10gbps():
+    """§4.3.2 calibration: the eight high-intensity programs exceed
+    10 GB/s when four copies run."""
+    model = _model()
+    for name in ("swim", "mgrid", "applu", "galgel", "art", "equake", "lucas", "fma3d"):
+        result = model.evaluate([get_app(name)] * 4, F_MAX)
+        assert result.total_bytes_per_s > 10e9, name
+
+
+def test_moderate_mixes_demand_5_to_10gbps():
+    """§4.3.2 calibration: the four moderate programs sit in 5-10 GB/s."""
+    model = _model()
+    for name in ("wupwise", "vpr", "mcf", "apsi"):
+        result = model.evaluate([get_app(name)] * 4, F_MAX)
+        assert 4.0e9 < result.total_bytes_per_s < 11e9, name
+
+
+def test_memoization_hits():
+    model = _model()
+    apps = get_mix("W1").apps
+    model.evaluate(apps, F_MAX)
+    entries = model.cache_entries
+    model.evaluate(apps, F_MAX)
+    assert model.cache_entries == entries
+
+
+def test_memoized_result_respects_slot_order():
+    model = _model()
+    a, b = get_app("swim"), get_app("vpr")
+    first = model.evaluate([a, b], F_MAX)
+    second = model.evaluate([b, a], F_MAX)
+    assert first.slots[0].app_name == "swim"
+    assert second.slots[0].app_name == "vpr"
+    assert first.total_bytes_per_s == pytest.approx(second.total_bytes_per_s)
+    assert first.slots[0].instructions_per_s == pytest.approx(
+        second.slots[1].instructions_per_s
+    )
+
+
+def test_utilization_bounded():
+    model = _model()
+    result = model.evaluate([get_app("swim")] * 4, F_MAX)
+    assert 0.0 <= result.utilization <= 1.0
+
+
+def test_latency_grows_with_load():
+    model = _model()
+    light = model.evaluate([get_app("vpr")], F_MAX)
+    heavy = model.evaluate([get_app("swim")] * 4, F_MAX)
+    assert heavy.latency_s > light.latency_s
+
+
+def test_envelope_latency_curve():
+    envelope = MemoryEnvelope()
+    assert envelope.latency_s(0.0) == pytest.approx(envelope.idle_latency_s)
+    assert envelope.latency_s(0.9) > envelope.latency_s(0.5) > envelope.latency_s(0.1)
+    # Clamped at rho_max.
+    assert envelope.latency_s(2.0) == envelope.latency_s(0.98)
+
+
+def test_envelope_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryEnvelope(idle_latency_s=0.0)
+    with pytest.raises(ConfigurationError):
+        MemoryEnvelope(rho_max=1.5)
+
+
+def test_cache_override_changes_result():
+    model = _model()
+    apps = [get_app("galgel")] * 2
+    small = model.evaluate(apps, F_MAX, cache_capacity_override_bytes=1024 * 1024)
+    large = model.evaluate(apps, F_MAX, cache_capacity_override_bytes=16 * 1024 * 1024)
+    assert small.l2_misses_per_s > large.l2_misses_per_s
+
+
+def test_slot_results_aggregate_consistently():
+    model = _model()
+    result = model.evaluate(get_mix("W3").apps, F_MAX)
+    assert result.read_bytes_per_s == pytest.approx(
+        sum(s.read_bytes_per_s for s in result.slots)
+    )
+    assert result.l2_misses_per_s == pytest.approx(
+        sum(s.l2_misses_per_s for s in result.slots)
+    )
+
+
+def test_clear_cache():
+    model = _model()
+    model.evaluate([get_app("swim")], F_MAX)
+    model.clear_cache()
+    assert model.cache_entries == 0
