@@ -1,23 +1,29 @@
 """Shared helpers for the figure/table benchmark suite.
 
-Every bench regenerates one table or figure of the paper: it computes
-the underlying runs through the cached experiment harness
-(:mod:`repro.analysis.experiments`), prints the same rows/series the
-paper reports, and writes them under ``results/`` for EXPERIMENTS.md.
+Every bench regenerates one table or figure of the paper: it declares
+the grid of runs it needs via :func:`repro.campaign.sweep`, prefetches
+them through the campaign engine (parallel when ``REPRO_BENCH_JOBS``
+is set), then builds the same rows/series the paper reports from the
+warm cache and writes them under ``results/`` for EXPERIMENTS.md.
 
 Environment knobs:
 
 - ``REPRO_BENCH_SCALE`` — batch copies per application (default 2; the
   paper uses 50).  Shapes are scale-invariant.
 - ``REPRO_BENCH_MIXES`` — comma-separated mix subset (default all 8).
+- ``REPRO_BENCH_JOBS`` — campaign worker processes for prefetching
+  (default 1 = serial in-process).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Any, Iterable
 
 from repro.analysis.experiments import bench_copies
+from repro.campaign import Campaign
+from repro.errors import ConfigurationError
 
 RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
 
@@ -36,6 +42,28 @@ def bench_mixes() -> list[str]:
 def copies() -> int:
     """Batch copies per application for the bench suite."""
     return bench_copies()
+
+
+def bench_jobs() -> int:
+    """Campaign worker processes, from ``REPRO_BENCH_JOBS`` (default 1)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"REPRO_BENCH_JOBS must be an integer, got {raw!r}")
+    if jobs < 1:
+        raise ConfigurationError("REPRO_BENCH_JOBS must be >= 1")
+    return jobs
+
+
+def prefetch(specs: Iterable[Any]) -> list[Any]:
+    """Execute a bench's whole run grid through the campaign engine.
+
+    Results land in the shared cache, so the bench's row-building loops
+    afterwards are pure cache hits; with ``REPRO_BENCH_JOBS>1`` the grid
+    computes in parallel.  Returns results in spec order.
+    """
+    return Campaign(list(specs), jobs=bench_jobs()).run()
 
 
 def emit(name: str, text: str) -> str:

@@ -5,17 +5,23 @@ BW costs ~47-48% *more* because the processor spins at full power while
 memory is throttled; the PID variants trade some energy back for speed.
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
 
 
 def _figure(cooling: str) -> str:
     n = copies()
+    prefetch(sweep(
+        Chapter4Spec,
+        {"mix": bench_mixes(), "policy": ("ts",) + POLICIES},
+        cooling=cooling, copies=n,
+    ))
     rows = []
     columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
     for mix in bench_mixes():

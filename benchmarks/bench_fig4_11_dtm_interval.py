@@ -8,11 +8,12 @@ The 1 ms runs cost 10x the simulation steps, so this bench sweeps a
 three-mix subset by default.
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 INTERVALS_S = (0.001, 0.010, 0.020, 0.100)
 POLICIES = ("ts", "bw", "acg", "cdvfs")
@@ -22,6 +23,11 @@ def test_fig4_11_dtm_interval(benchmark):
     def build():
         n = copies()
         mixes = bench_mixes()[:3]
+        prefetch(sweep(
+            Chapter4Spec,
+            {"policy": POLICIES, "dtm_interval_s": INTERVALS_S, "mix": mixes},
+            cooling="AOHS_1.5", copies=n,
+        ))
         rows = []
         for policy in POLICIES:
             normalized_by_interval = []

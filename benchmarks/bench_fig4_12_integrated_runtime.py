@@ -6,17 +6,23 @@ surprise finding — CDVFS closes on or beats ACG because it cuts the
 processor heat that pre-warms the DIMMs.
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("ts", "bw", "acg", "cdvfs")
 
 
 def _figure(cooling: str) -> str:
     n = copies()
+    prefetch(sweep(
+        Chapter4Spec,
+        {"mix": bench_mixes(), "policy": ("no-limit",) + POLICIES},
+        cooling=cooling, ambient="integrated", copies=n,
+    ))
     rows = []
     columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
     for mix in bench_mixes():

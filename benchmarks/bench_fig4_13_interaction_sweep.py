@@ -5,11 +5,12 @@ Expected shape (§4.5.2): every scheme slows as the interaction grows
 (more processor heat reaches the DIMMs).
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 DEGREES = (1.0, 1.5, 2.0)
 POLICIES = ("ts", "bw", "acg", "cdvfs")
@@ -19,6 +20,12 @@ def test_fig4_13_interaction_sweep(benchmark):
     def build():
         n = copies()
         mixes = bench_mixes()
+        prefetch(sweep(
+            Chapter4Spec,
+            {"policy": ("no-limit",) + POLICIES, "interaction": DEGREES,
+             "mix": mixes},
+            cooling="FDHS_1.0", ambient="integrated", copies=n,
+        ))
         rows = []
         for policy in POLICIES:
             row: list[object] = [policy.upper()]

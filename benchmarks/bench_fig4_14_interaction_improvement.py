@@ -6,11 +6,12 @@ paper) because cutting processor heat matters more when more of it
 reaches the DIMMs.
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 DEGREES = (1.0, 1.5, 2.0)
 
@@ -19,6 +20,12 @@ def test_fig4_14_interaction_improvement(benchmark):
     def build():
         n = copies()
         mixes = bench_mixes()
+        prefetch(sweep(
+            Chapter4Spec,
+            {"policy": ("bw", "acg", "cdvfs"), "interaction": DEGREES,
+             "mix": mixes},
+            cooling="FDHS_1.0", ambient="integrated", copies=n,
+        ))
         rows = []
         for policy in ("acg", "cdvfs"):
             row: list[object] = [policy.upper()]

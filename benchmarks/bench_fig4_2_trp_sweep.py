@@ -5,10 +5,11 @@
 ideal; higher TRPs should lose less performance (§4.4.1).
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 #: TRP sweep values: distance below the TDP (85 DRAM / 110 AMB).
 DRAM_TRPS = (81.0, 82.0, 83.0, 84.0, 84.5)
@@ -18,6 +19,12 @@ AMB_TRPS = (106.0, 107.0, 108.0, 109.0, 109.5)
 def _sweep(cooling: str, trp_field: str, trps: tuple[float, ...]) -> str:
     rows = []
     n = copies()
+    prefetch(
+        sweep(Chapter4Spec, {"mix": bench_mixes()},
+              policy="no-limit", cooling=cooling, copies=n)
+        + sweep(Chapter4Spec, {"mix": bench_mixes(), trp_field: trps},
+                policy="ts", cooling=cooling, copies=n)
+    )
     for mix in bench_mixes():
         baseline = run_chapter4(Chapter4Spec(mix=mix, policy="no-limit", cooling=cooling, copies=n))
         row: list[object] = [mix]

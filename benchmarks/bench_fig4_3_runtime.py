@@ -6,17 +6,23 @@ Expected shape: TS ~ BW worst, ACG best (avg ~1.5 vs ~1.8), CDVFS in
 between, PID improving each (§4.4.2).
 """
 
-from _common import COOLINGS, bench_mixes, copies, emit, run_once
+from _common import COOLINGS, bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("ts", "bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
 
 
 def _figure(cooling: str) -> str:
     n = copies()
+    prefetch(sweep(
+        Chapter4Spec,
+        {"mix": bench_mixes(), "policy": ("no-limit",) + POLICIES},
+        cooling=cooling, copies=n,
+    ))
     rows = []
     columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
     for mix in bench_mixes():

@@ -6,11 +6,12 @@ PID variants pin ~109.8 with no overshoot; plain CDVFS occasionally
 touches 110 (overshoot) which PID eliminates.
 """
 
-from _common import copies, emit, run_once
+from _common import copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.series import summarize_series
 from repro.analysis.tables import format_series, format_table
+from repro.campaign import sweep
 
 CASES = (
     ("fig4_5_ts", "ts"),
@@ -26,6 +27,11 @@ CASES = (
 def test_figs4_5_to_4_8_temperature_traces(benchmark):
     def build():
         n = copies()
+        prefetch(sweep(
+            Chapter4Spec,
+            {"policy": [policy for _, policy in CASES]},
+            mix="W1", cooling="AOHS_1.5", copies=n, record_trace=True,
+        ))
         lines = []
         rows = []
         for name, policy in CASES:

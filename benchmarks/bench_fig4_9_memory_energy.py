@@ -5,17 +5,23 @@ time), CDVFS ~3-4%, BW slightly less than TS; PID trims a little more
 (§4.4.3).
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid")
 
 
 def _figure(cooling: str) -> str:
     n = copies()
+    prefetch(sweep(
+        Chapter4Spec,
+        {"mix": bench_mixes(), "policy": ("ts",) + POLICIES},
+        cooling=cooling, copies=n,
+    ))
     rows = []
     columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
     for mix in bench_mixes():

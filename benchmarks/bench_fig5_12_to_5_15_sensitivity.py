@@ -11,11 +11,12 @@
   the L2 thrashes (misses and runtime rise).
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter5Spec, run_chapter5
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "comb")
 
@@ -23,6 +24,12 @@ POLICIES = ("bw", "acg", "cdvfs", "comb")
 def test_fig5_12_room_ambient(benchmark):
     def build():
         n = copies()
+        prefetch(sweep(
+            Chapter5Spec,
+            {"mix": bench_mixes(), "policy": ("no-limit",) + POLICIES},
+            platform="SR1500AL", copies=n,
+            ambient_override_c=26.0, amb_tdp_c=90.0,
+        ))
         rows = []
         per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
         for mix in bench_mixes():
@@ -53,6 +60,12 @@ def test_fig5_12_room_ambient(benchmark):
 def test_fig5_13_processor_frequency(benchmark):
     def build():
         n = copies()
+        prefetch(sweep(
+            Chapter5Spec,
+            {"base_frequency_level": (0, 3), "policy": ("bw", "acg"),
+             "mix": bench_mixes()},
+            platform="SR1500AL", copies=n,
+        ))
         rows = []
         for level, label in ((0, "3.0GHz"), (3, "2.0GHz")):
             ratios = []
@@ -82,6 +95,12 @@ def test_fig5_13_processor_frequency(benchmark):
 def test_fig5_14_amb_tdp_sweep(benchmark):
     def build():
         n = copies()
+        prefetch(sweep(
+            Chapter5Spec,
+            {"amb_tdp_c": (88.0, 90.0, 92.0),
+             "policy": ("no-limit",) + POLICIES, "mix": bench_mixes()},
+            platform="PE1950", copies=n,
+        ))
         rows = []
         for tdp in (88.0, 90.0, 92.0):
             row: list[object] = [f"TDP={tdp}"]
@@ -112,6 +131,11 @@ def test_fig5_15_time_slice_sweep(benchmark):
     def build():
         n = copies()
         slices = (0.005, 0.010, 0.020, 0.050, 0.100)
+        prefetch(sweep(
+            Chapter5Spec,
+            {"time_slice_s": slices, "mix": bench_mixes()},
+            platform="PE1950", policy="acg", copies=n,
+        ))
         rows = []
         reference: dict[str, tuple[float, float]] = {}
         for mix in bench_mixes():

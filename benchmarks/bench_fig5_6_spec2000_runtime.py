@@ -6,17 +6,23 @@ substantial fraction; COMB ~ the best of the two; ACG may lose on the
 least memory-intensive mix (the W8 anomaly the paper reports).
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter5Spec, run_chapter5
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "comb")
 
 
 def _figure(platform: str) -> str:
     n = copies()
+    prefetch(sweep(
+        Chapter5Spec,
+        {"mix": bench_mixes(), "policy": ("no-limit",) + POLICIES},
+        platform=platform, copies=n,
+    ))
     rows = []
     columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
     for mix in bench_mixes():

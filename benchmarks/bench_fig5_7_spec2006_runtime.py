@@ -5,10 +5,11 @@ omnetpp, wrf).  Expected shape (§5.4.2): the CPU2000 findings carry
 over — BW degrades ~20-25%, ACG recovers ~7-13%, CDVFS ~14-15%.
 """
 
-from _common import copies, emit, run_once
+from _common import copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter5Spec, run_chapter5
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "comb")
 
@@ -16,6 +17,11 @@ POLICIES = ("bw", "acg", "cdvfs", "comb")
 def test_fig5_7_spec2006_pe1950(benchmark):
     def build():
         n = copies()
+        prefetch(sweep(
+            Chapter5Spec,
+            {"mix": ("W11", "W12"), "policy": ("no-limit",) + POLICIES},
+            platform="PE1950", copies=n,
+        ))
         rows = []
         for mix in ("W11", "W12"):
             baseline = run_chapter5(

@@ -5,17 +5,23 @@ changes misses; ACG (and COMB) cut them 25-30% on average by giving
 each program the whole socket L2 while it runs; CDVFS leaves them flat.
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter5Spec, run_chapter5
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "comb")
 
 
 def _figure(platform: str) -> str:
     n = copies()
+    prefetch(sweep(
+        Chapter5Spec,
+        {"mix": bench_mixes(), "policy": ("no-limit",) + POLICIES},
+        platform=platform, copies=n,
+    ))
     rows = []
     columns: dict[str, list[float]] = {policy: [] for policy in POLICIES}
     for mix in bench_mixes():

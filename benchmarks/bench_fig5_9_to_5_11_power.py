@@ -9,18 +9,28 @@
   (time), CDVFS ~22% (power x time), COMB ~16%.
 """
 
-from _common import bench_mixes, copies, emit, run_once
+from _common import bench_mixes, copies, emit, prefetch, run_once
 
 from repro.analysis.experiments import Chapter5Spec, run_chapter5
 from repro.analysis.normalize import arithmetic_mean, geometric_mean
 from repro.analysis.tables import format_table
+from repro.campaign import sweep
 
 POLICIES = ("bw", "acg", "cdvfs", "comb")
+
+
+def _prefetch_grid(n: int) -> None:
+    prefetch(sweep(
+        Chapter5Spec,
+        {"mix": bench_mixes(), "policy": POLICIES},
+        platform="SR1500AL", copies=n,
+    ))
 
 
 def test_fig5_9_memory_inlet_temperature(benchmark):
     def build():
         n = copies()
+        _prefetch_grid(n)
         rows = []
         per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
         for mix in bench_mixes():
@@ -43,6 +53,7 @@ def test_fig5_9_memory_inlet_temperature(benchmark):
 def test_fig5_10_cpu_power(benchmark):
     def build():
         n = copies()
+        _prefetch_grid(n)
         rows = []
         per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
         for mix in bench_mixes():
@@ -67,6 +78,7 @@ def test_fig5_10_cpu_power(benchmark):
 def test_fig5_11_energy(benchmark):
     def build():
         n = copies()
+        _prefetch_grid(n)
         rows = []
         per_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
         for mix in bench_mixes():

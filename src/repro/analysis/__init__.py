@@ -1,19 +1,22 @@
-"""Analysis utilities: normalization, ASCII tables, experiment harness.
+"""Analysis utilities: normalization, tables, experiment specs, campaigns.
 
 - :mod:`repro.analysis.normalize` — normalization helpers used by every
   figure (the paper reports runtimes/traffic/energy relative to either
   the no-limit baseline or DTM-TS/DTM-BW).
-- :mod:`repro.analysis.tables` — fixed-width table and sparkline
+- :mod:`repro.analysis.tables` — fixed-width table, CSV, and sparkline
   rendering so benches print figures legibly in a terminal.
 - :mod:`repro.analysis.series` — time-series helpers for the temperature
   trace figures.
-- :mod:`repro.analysis.experiments` — the shared experiment runner with
-  in-process and on-disk caching, so the 25+ benches don't recompute the
-  same (workload, policy, cooling) runs.
+- :mod:`repro.analysis.experiments` — the Chapter 4/5 run specs and
+  runners, registered with the :mod:`repro.campaign` engine, which
+  caches them in memory and on disk so the 25+ benches don't recompute
+  the same (workload, policy, cooling) runs.
+- :mod:`repro.analysis.campaigns` — named parameter grids for the
+  ``python -m repro campaign`` subcommand.
 """
 
 from repro.analysis.normalize import geometric_mean, normalize_map
-from repro.analysis.tables import format_table, sparkline
+from repro.analysis.tables import format_csv, format_table, sparkline
 from repro.analysis.series import downsample, summarize_series
 from repro.analysis.experiments import (
     Chapter4Spec,
@@ -22,10 +25,12 @@ from repro.analysis.experiments import (
     run_chapter4,
     run_chapter5,
 )
+from repro.analysis.campaigns import CAMPAIGN_GRIDS, run_campaign
 
 __all__ = [
     "geometric_mean",
     "normalize_map",
+    "format_csv",
     "format_table",
     "sparkline",
     "downsample",
@@ -35,4 +40,6 @@ __all__ = [
     "bench_copies",
     "run_chapter4",
     "run_chapter5",
+    "CAMPAIGN_GRIDS",
+    "run_campaign",
 ]

@@ -1,0 +1,165 @@
+"""Named campaign grids: declarative (mix x policy x ...) sweeps.
+
+The CLI's ``campaign`` subcommand — and anything else that wants a
+full results table instead of a single run — goes through here.  A
+named grid pairs a spec sweep with the metric columns its table
+reports; the campaign engine handles expansion, caching, parallelism,
+and deterministic ordering, so the same grid run with any ``--jobs``
+value produces an identical table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.analysis.experiments import (
+    CHAPTER4_POLICY_CHOICES,
+    CHAPTER5_POLICIES,
+    Chapter4Spec,
+    Chapter5Spec,
+)
+from repro.campaign import Campaign, ResultStore, sweep
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NamedGrid:
+    """One named sweep: spec expansion plus table columns."""
+
+    name: str
+    description: str
+    #: Policy names this grid accepts.
+    policy_choices: tuple[str, ...]
+    #: CLI flag selecting this grid's third axis (e.g. "--coolings").
+    variant_flag: str
+    #: Variant used when the flag is not given.
+    variant_default: str
+    #: (mixes, policies, variants, copies) -> specs.
+    expand: Callable[
+        [Sequence[str], Sequence[str], Sequence[str], int], list[Any]
+    ]
+    headers: list[str]
+    #: (spec, result) -> one table row.
+    row: Callable[[Any, Any], list[Any]]
+
+
+def _expand_ch4(
+    mixes: Sequence[str],
+    policies: Sequence[str],
+    coolings: Sequence[str],
+    copies: int,
+) -> list[Chapter4Spec]:
+    return sweep(
+        Chapter4Spec,
+        {"cooling": coolings, "mix": mixes, "policy": policies},
+        copies=copies,
+    )
+
+
+def _ch4_row(spec: Chapter4Spec, result: Any) -> list[Any]:
+    return [
+        spec.cooling,
+        spec.mix,
+        spec.policy,
+        result.runtime_s,
+        result.traffic_bytes / 1e12,
+        result.cpu_energy_j / 1e3,
+        result.memory_energy_j / 1e3,
+        result.peak_amb_c,
+        result.peak_dram_c,
+        result.shutdown_fraction,
+    ]
+
+
+def _expand_ch5(
+    mixes: Sequence[str],
+    policies: Sequence[str],
+    platforms: Sequence[str],
+    copies: int,
+) -> list[Chapter5Spec]:
+    return sweep(
+        Chapter5Spec,
+        {"platform": platforms, "mix": mixes, "policy": policies},
+        copies=copies,
+    )
+
+
+def _ch5_row(spec: Chapter5Spec, result: Any) -> list[Any]:
+    return [
+        spec.platform,
+        spec.mix,
+        spec.policy,
+        result.runtime_s,
+        result.l2_misses / 1e9,
+        result.average_cpu_power_w,
+        result.mean_inlet_c,
+        result.peak_amb_c,
+    ]
+
+
+CAMPAIGN_GRIDS: dict[str, NamedGrid] = {
+    "ch4": NamedGrid(
+        name="ch4",
+        description="Chapter 4 two-level simulation sweep "
+        "(cooling x mix x policy)",
+        policy_choices=CHAPTER4_POLICY_CHOICES,
+        variant_flag="--coolings",
+        variant_default="AOHS_1.5",
+        expand=_expand_ch4,
+        headers=[
+            "cooling", "mix", "policy", "runtime(s)", "traffic(TB)",
+            "cpuE(kJ)", "memE(kJ)", "peak AMB", "peak DRAM", "shutdown",
+        ],
+        row=_ch4_row,
+    ),
+    "ch5": NamedGrid(
+        name="ch5",
+        description="Chapter 5 server measurement sweep "
+        "(platform x mix x policy)",
+        policy_choices=CHAPTER5_POLICIES,
+        variant_flag="--platforms",
+        variant_default="PE1950",
+        expand=_expand_ch5,
+        headers=[
+            "platform", "mix", "policy", "runtime(s)", "L2 misses(G)",
+            "avg CPU(W)", "mean inlet", "peak AMB",
+        ],
+        row=_ch5_row,
+    ),
+}
+
+
+def run_campaign(
+    grid_name: str,
+    *,
+    mixes: Sequence[str],
+    policies: Sequence[str],
+    variants: Sequence[str],
+    copies: int = 2,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> tuple[list[str], list[list[Any]]]:
+    """Run a named grid and return its (headers, rows) table.
+
+    ``variants`` selects the grid's third axis — cooling configurations
+    for ``ch4``, server platforms for ``ch5``.  Rows come back in
+    deterministic sweep order regardless of ``jobs``.
+    """
+    grid = CAMPAIGN_GRIDS.get(grid_name)
+    if grid is None:
+        raise ConfigurationError(
+            f"unknown campaign grid {grid_name!r} (have: {sorted(CAMPAIGN_GRIDS)})"
+        )
+    unknown = [p for p in policies if p not in grid.policy_choices]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {grid_name} policies {unknown} "
+            f"(choices: {list(grid.policy_choices)})"
+        )
+    specs = grid.expand(mixes, policies, variants, copies)
+    if not specs:
+        raise ConfigurationError("campaign expanded to zero runs")
+    results = Campaign(specs, jobs=jobs, store=store).run()
+    rows = [grid.row(spec, result) for spec, result in zip(specs, results)]
+    return list(grid.headers), rows

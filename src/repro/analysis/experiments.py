@@ -1,27 +1,30 @@
-"""Shared experiment harness with caching, used by the benchmark suite.
+"""Chapter 4/5 run specs and runners for the campaign engine.
 
 Every figure bench needs the same underlying runs (e.g. the no-limit
-baseline of every workload).  This module provides declarative run
-specifications, policy construction, and two cache layers:
+baseline of every workload).  This module defines the two spec kinds —
+``ch4`` (two-level simulation) and ``ch5`` (server measurement) — and
+registers their runners with :mod:`repro.campaign`, which provides the
+caching, grid expansion, and parallel execution:
 
-- an **in-process memo** so one pytest session never repeats a run, and
-- an **on-disk JSON cache** under ``.exp_cache/`` keyed by the spec hash,
-  so tests and benches across sessions reuse results.  Temperature
-  traces are persisted alongside the scalars.
+- a process-wide **memory memo** so one pytest session never repeats a
+  run, and
+- a sharded **on-disk JSON cache** under ``.exp_cache/`` keyed by the
+  spec hash, so tests and benches across sessions reuse results.
+  Temperature traces are persisted alongside the scalars.
 
 ``REPRO_BENCH_SCALE`` scales the batch length (copies of each app; the
 paper uses 50, the default here is 2 — shapes are scale-invariant).
-``REPRO_CACHE=0`` disables the disk cache.
+``REPRO_CACHE=0`` disables the disk cache; ``REPRO_CACHE_DIR`` moves it.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 from dataclasses import dataclass
-from pathlib import Path
+from typing import ClassVar
 
+from repro.campaign import register_runner, run, spec_key
+from repro.campaign.spec import CACHE_VERSION  # noqa: F401  (compat re-export)
 from repro.core.results import RunResult, TemperatureTrace
 from repro.core.simulator import SimulationConfig, TwoLevelSimulator
 from repro.core.windowmodel import WindowModel
@@ -43,12 +46,6 @@ from repro.testbed.performance import ServerWindowModel
 from repro.testbed.platforms import PE1950, SR1500AL, ServerPlatform
 from repro.testbed.runner import ServerRunResult, ServerSimulator
 
-#: Directory of the on-disk cache (created on demand).
-CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
-
-#: Bump when model changes invalidate cached results.
-CACHE_VERSION = "v1"
-
 
 def bench_copies(default: int = 2) -> int:
     """Batch copies per application, from ``REPRO_BENCH_SCALE``."""
@@ -60,10 +57,6 @@ def bench_copies(default: int = 2) -> int:
     if copies < 1:
         raise ConfigurationError("REPRO_BENCH_SCALE must be >= 1")
     return copies
-
-
-def _disk_cache_enabled() -> bool:
-    return os.environ.get("REPRO_CACHE", "1") != "0"
 
 
 # ---------------------------------------------------------------------------
@@ -82,10 +75,15 @@ CHAPTER4_POLICIES = (
     "cdvfs+pid",
 )
 
+#: Every policy name ``make_chapter4_policy`` accepts (CLI choices).
+CHAPTER4_POLICY_CHOICES = CHAPTER4_POLICIES + ("comb",)
+
 
 @dataclass(frozen=True)
 class Chapter4Spec:
     """One Chapter 4 simulation run."""
+
+    kind: ClassVar[str] = "ch4"
 
     mix: str = "W1"
     policy: str = "ts"
@@ -103,9 +101,7 @@ class Chapter4Spec:
 
     def key(self) -> str:
         """Stable hash key of this spec."""
-        payload = json.dumps(self.__dict__, sort_keys=True, default=str)
-        digest = hashlib.sha256(f"{CACHE_VERSION}|ch4|{payload}".encode()).hexdigest()
-        return f"ch4-{digest[:20]}"
+        return spec_key(self)
 
 
 def make_chapter4_policy(
@@ -133,11 +129,9 @@ def make_chapter4_policy(
     raise ConfigurationError(f"unknown Chapter 4 policy {name!r}")
 
 
-#: Shared window models (memoized level-1 evaluations) per envelope key.
+#: Shared window models (memoized level-1 evaluations), per process.
 _window_models: dict[str, WindowModel] = {}
-_ch4_memo: dict[str, RunResult] = {}
 _server_models: dict[str, ServerWindowModel] = {}
-_ch5_memo: dict[str, ServerRunResult] = {}
 
 
 def _shared_window_model() -> WindowModel:
@@ -148,16 +142,8 @@ def _shared_window_model() -> WindowModel:
     return model
 
 
-def run_chapter4(spec: Chapter4Spec) -> RunResult:
-    """Run (or recall) one Chapter 4 experiment."""
-    key = spec.key()
-    cached = _ch4_memo.get(key)
-    if cached is not None:
-        return cached
-    disk = _load_disk(key, _run_result_from_dict)
-    if disk is not None:
-        _ch4_memo[key] = disk
-        return disk
+def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
+    """Simulate one Chapter 4 spec (no caching — the engine provides it)."""
     if spec.cooling not in COOLING_CONFIGS:
         raise ConfigurationError(f"unknown cooling {spec.cooling!r}")
     ambient = ISOLATED_AMBIENT if spec.ambient == "isolated" else INTEGRATED_AMBIENT
@@ -174,10 +160,12 @@ def run_chapter4(spec: Chapter4Spec) -> RunResult:
     policy = make_chapter4_policy(
         spec.policy, amb_trp_c=spec.amb_trp_c, dram_trp_c=spec.dram_trp_c
     )
-    result = TwoLevelSimulator(config, policy, window_model=_shared_window_model()).run()
-    _ch4_memo[key] = result
-    _store_disk(key, _run_result_to_dict(result))
-    return result
+    return TwoLevelSimulator(config, policy, window_model=_shared_window_model()).run()
+
+
+def run_chapter4(spec: Chapter4Spec) -> RunResult:
+    """Run (or recall) one Chapter 4 experiment through the engine."""
+    return run(spec)
 
 
 # ---------------------------------------------------------------------------
@@ -192,6 +180,8 @@ CHAPTER5_POLICIES = ("no-limit", "bw", "acg", "cdvfs", "comb")
 class Chapter5Spec:
     """One Chapter 5 server measurement."""
 
+    kind: ClassVar[str] = "ch5"
+
     platform: str = "PE1950"
     mix: str = "W1"
     policy: str = "bw"
@@ -203,9 +193,7 @@ class Chapter5Spec:
 
     def key(self) -> str:
         """Stable hash key of this spec."""
-        payload = json.dumps(self.__dict__, sort_keys=True, default=str)
-        digest = hashlib.sha256(f"{CACHE_VERSION}|ch5|{payload}".encode()).hexdigest()
-        return f"ch5-{digest[:20]}"
+        return spec_key(self)
 
 
 def _platform_for(spec: Chapter5Spec) -> ServerPlatform:
@@ -232,16 +220,8 @@ def make_chapter5_policy(name: str, platform: ServerPlatform) -> DTMPolicy:
     raise ConfigurationError(f"unknown Chapter 5 policy {name!r}")
 
 
-def run_chapter5(spec: Chapter5Spec) -> ServerRunResult:
-    """Run (or recall) one Chapter 5 experiment."""
-    key = spec.key()
-    cached = _ch5_memo.get(key)
-    if cached is not None:
-        return cached
-    disk = _load_disk(key, _server_result_from_dict)
-    if disk is not None:
-        _ch5_memo[key] = disk
-        return disk
+def _execute_chapter5(spec: Chapter5Spec) -> ServerRunResult:
+    """Measure one Chapter 5 spec (no caching — the engine provides it)."""
     platform = _platform_for(spec)
     model_key = f"{spec.platform}|{spec.amb_tdp_c}"
     model = _server_models.get(model_key)
@@ -259,18 +239,21 @@ def run_chapter5(spec: Chapter5Spec) -> ServerRunResult:
         window_model=model,
         base_frequency_level=spec.base_frequency_level,
     )
-    result = simulator.run()
-    _ch5_memo[key] = result
-    _store_disk(key, _server_result_to_dict(result))
-    return result
+    return simulator.run()
+
+
+def run_chapter5(spec: Chapter5Spec) -> ServerRunResult:
+    """Run (or recall) one Chapter 5 experiment through the engine."""
+    return run(spec)
 
 
 # ---------------------------------------------------------------------------
-# Disk cache plumbing
+# Result codecs (JSON payloads for the ResultStore layers)
 # ---------------------------------------------------------------------------
 
 
-def _trace_to_dict(trace: TemperatureTrace) -> dict:
+def trace_to_dict(trace: TemperatureTrace) -> dict:
+    """Serialize a temperature trace."""
     return {
         "times_s": trace.times_s,
         "amb_c": trace.amb_c,
@@ -279,7 +262,8 @@ def _trace_to_dict(trace: TemperatureTrace) -> dict:
     }
 
 
-def _trace_from_dict(raw: dict) -> TemperatureTrace:
+def trace_from_dict(raw: dict) -> TemperatureTrace:
+    """Rebuild a temperature trace from its payload."""
     trace = TemperatureTrace()
     for t, a, d, amb in zip(
         raw.get("times_s", []),
@@ -291,48 +275,43 @@ def _trace_from_dict(raw: dict) -> TemperatureTrace:
     return trace
 
 
-def _run_result_to_dict(result: RunResult) -> dict:
+def run_result_to_dict(result: RunResult) -> dict:
+    """Serialize a :class:`RunResult` (trace included)."""
     payload = {k: v for k, v in result.__dict__.items() if k != "trace"}
-    payload["trace"] = _trace_to_dict(result.trace)
+    payload["trace"] = trace_to_dict(result.trace)
     return payload
 
 
-def _run_result_from_dict(raw: dict) -> RunResult:
-    trace = _trace_from_dict(raw.pop("trace", {}))
+def run_result_from_dict(raw: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from its payload."""
+    raw = dict(raw)
+    trace = trace_from_dict(raw.pop("trace", {}))
     return RunResult(trace=trace, **raw)
 
 
-def _server_result_to_dict(result: ServerRunResult) -> dict:
+def server_result_to_dict(result: ServerRunResult) -> dict:
+    """Serialize a :class:`ServerRunResult` (trace included)."""
     payload = {k: v for k, v in result.__dict__.items() if k != "trace"}
-    payload["trace"] = _trace_to_dict(result.trace)
+    payload["trace"] = trace_to_dict(result.trace)
     return payload
 
 
-def _server_result_from_dict(raw: dict) -> ServerRunResult:
-    trace = _trace_from_dict(raw.pop("trace", {}))
+def server_result_from_dict(raw: dict) -> ServerRunResult:
+    """Rebuild a :class:`ServerRunResult` from its payload."""
+    raw = dict(raw)
+    trace = trace_from_dict(raw.pop("trace", {}))
     return ServerRunResult(trace=trace, **raw)
 
 
-def _load_disk(key: str, decode):
-    if not _disk_cache_enabled():
-        return None
-    path = CACHE_DIR / f"{key}.json"
-    if not path.exists():
-        return None
-    try:
-        with path.open() as handle:
-            return decode(json.load(handle))
-    except (OSError, ValueError, TypeError):
-        return None
-
-
-def _store_disk(key: str, payload: dict) -> None:
-    if not _disk_cache_enabled():
-        return
-    try:
-        CACHE_DIR.mkdir(parents=True, exist_ok=True)
-        path = CACHE_DIR / f"{key}.json"
-        with path.open("w") as handle:
-            json.dump(payload, handle)
-    except OSError:
-        pass
+register_runner(
+    "ch4",
+    _execute_chapter4,
+    encode=run_result_to_dict,
+    decode=run_result_from_dict,
+)
+register_runner(
+    "ch5",
+    _execute_chapter5,
+    encode=server_result_to_dict,
+    decode=server_result_from_dict,
+)

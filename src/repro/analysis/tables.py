@@ -1,4 +1,4 @@
-"""Fixed-width table and sparkline rendering for terminal output."""
+"""Table rendering: fixed-width terminal output, CSV export, sparklines."""
 
 from __future__ import annotations
 
@@ -7,24 +7,31 @@ from repro.errors import ConfigurationError
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
-def format_table(
-    headers: list[str],
-    rows: list[list[object]],
-    float_format: str = "{:.3f}",
-) -> str:
-    """Render a fixed-width ASCII table.
+def _render_cells(
+    headers: list[str], rows: list[list[object]], float_format: str
+) -> list[list[str]]:
+    """Validate row widths and stringify every cell.
 
     Floats format with ``float_format``; everything else with ``str``.
     """
     if any(len(row) != len(headers) for row in rows):
         raise ConfigurationError("every row must match the header width")
-    rendered = [
+    return [
         [
             float_format.format(cell) if isinstance(cell, float) else str(cell)
             for cell in row
         ]
         for row in rows
     ]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width ASCII table."""
+    rendered = _render_cells(headers, rows, float_format)
     widths = [len(h) for h in headers]
     for row in rendered:
         for index, cell in enumerate(row):
@@ -35,6 +42,28 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     for row in rendered:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render a table as minimal CSV (no quoting; cells must be delimiter-free).
+
+    Campaign exports go through this, so floats use a round-trippable
+    general format rather than the fixed display precision.
+    """
+    cells = _render_cells(headers, rows, float_format)
+    for row in [list(headers)] + cells:
+        for cell in row:
+            if "," in cell or "\n" in cell:
+                raise ConfigurationError(
+                    f"CSV cell may not contain a comma or newline: {cell!r}"
+                )
+    lines = [",".join(headers)]
+    lines.extend(",".join(row) for row in cells)
     return "\n".join(lines)
 
 

@@ -1,0 +1,56 @@
+"""Generic experiment-campaign engine.
+
+One ``run(spec)`` entry point executes any registered run spec with
+write-through caching; ``sweep()`` expands declarative parameter grids;
+``Campaign`` runs a batch in parallel with deterministic result order;
+the ``ResultStore`` hierarchy makes the cache pluggable (in-memory
+memo, sharded atomic on-disk JSON, null).
+
+The chapter-specific runners live in :mod:`repro.analysis.experiments`;
+this package knows nothing about thermal simulation — only how to
+execute, cache, and order runs.
+"""
+
+from repro.campaign.engine import Campaign, run, sweep
+from repro.campaign.spec import (
+    CACHE_VERSION,
+    Runner,
+    RunSpec,
+    register_runner,
+    registered_kinds,
+    runner_for,
+    spec_key,
+)
+from repro.campaign.stores import (
+    GLOBAL_MEMORY,
+    JsonDirStore,
+    MemoryStore,
+    NullStore,
+    ResultStore,
+    TieredStore,
+    cache_dir,
+    default_store,
+    disk_cache_enabled,
+)
+
+__all__ = [
+    "Campaign",
+    "run",
+    "sweep",
+    "CACHE_VERSION",
+    "Runner",
+    "RunSpec",
+    "register_runner",
+    "registered_kinds",
+    "runner_for",
+    "spec_key",
+    "GLOBAL_MEMORY",
+    "JsonDirStore",
+    "MemoryStore",
+    "NullStore",
+    "ResultStore",
+    "TieredStore",
+    "cache_dir",
+    "default_store",
+    "disk_cache_enabled",
+]

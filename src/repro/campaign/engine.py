@@ -1,0 +1,188 @@
+"""Campaign execution: single runs, grid expansion, parallel sweeps.
+
+:func:`run` is the one entry point for executing any registered spec
+with caching.  :func:`sweep` expands a declarative parameter grid into
+specs.  :class:`Campaign` executes a list of specs — deduplicated by
+cache key, optionally in parallel via a process pool — and returns
+results in the order the specs were given, so tables built from a
+campaign are byte-identical no matter how many workers ran it.
+
+Every returned result is the decode of its cache payload (fresh runs
+are round-tripped through the codec before returning), so fresh and
+cached calls yield identical shapes.  Decoded objects are memoized per
+process by spec key — keys are content hashes of the spec, so a key
+can only ever name one result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.campaign.spec import RunSpec, runner_for
+from repro.campaign.stores import GLOBAL_MEMORY, ResultStore, default_store
+from repro.errors import ConfigurationError
+
+#: Per-process memo of decoded results, so repeated cache hits don't
+#: re-decode payloads (temperature traces rebuild point by point).
+_DECODE_MEMO: dict[str, Any] = {}
+
+
+def _decode(kind: str, payload: dict) -> Any:
+    runner = runner_for(kind)
+    try:
+        return runner.decode(payload)
+    except (KeyError, TypeError, ValueError):
+        # Stale payload from an older schema: treat as a cache miss.
+        return None
+
+
+def _decode_cached(kind: str, key: str, payload: dict) -> Any:
+    result = _DECODE_MEMO.get(key)
+    if result is None:
+        result = _decode(kind, payload)
+        if result is not None:
+            _DECODE_MEMO[key] = result
+    return result
+
+
+def _payload_and_result(spec: RunSpec, store: ResultStore) -> tuple[dict, Any]:
+    """Run ``spec`` unless cached; return its (payload, decoded result)."""
+    runner = runner_for(spec.kind)
+    key = spec.key()
+    payload = store.get(key)
+    if payload is not None:
+        result = _decode_cached(spec.kind, key, payload)
+        if result is not None:
+            return payload, result
+    fresh = runner.execute(spec)
+    payload = runner.encode(fresh)
+    store.put(key, payload)
+    result = _decode(spec.kind, payload)
+    if result is None:
+        # A just-produced payload that won't decode is a codec bug;
+        # fail at the source rather than handing back values that
+        # would differ between cached and fresh (or serial and
+        # parallel) calls.
+        raise ConfigurationError(
+            f"runner codec for kind {spec.kind!r} cannot round-trip its result"
+        )
+    _DECODE_MEMO[key] = result
+    return payload, result
+
+
+def run(spec: RunSpec, store: ResultStore | None = None) -> Any:
+    """Run (or recall) one spec through its registered runner.
+
+    A cached payload short-circuits execution; a fresh run is encoded
+    and written through the store for the next caller.
+    """
+    store = default_store() if store is None else store
+    return _payload_and_result(spec, store)[1]
+
+
+def sweep(
+    spec_type: type,
+    grid: Mapping[str, Sequence[Any]],
+    **fixed: Any,
+) -> list[Any]:
+    """Expand a parameter grid into specs, row-major over ``grid`` order.
+
+    ``sweep(Chapter4Spec, {"mix": ("W1", "W2"), "policy": ("ts", "acg")},
+    cooling="AOHS_1.5")`` yields W1/ts, W1/acg, W2/ts, W2/acg — the
+    first grid axis varies slowest, matching how the paper's tables
+    iterate mixes in rows and policies in columns.
+    """
+    if not grid:
+        raise ConfigurationError("sweep grid must name at least one axis")
+    names = list(grid)
+    for name in names:
+        if name in fixed:
+            raise ConfigurationError(f"axis {name!r} also given as a fixed field")
+    return [
+        spec_type(**fixed, **dict(zip(names, combo)))
+        for combo in itertools.product(*(tuple(grid[name]) for name in names))
+    ]
+
+
+def _worker_execute(
+    spec: RunSpec, store: ResultStore | None
+) -> tuple[str, dict]:
+    """Pool-worker entry: run one spec and return its payload.
+
+    With no explicit store the worker uses its own default stack, so
+    results cached by earlier campaigns (or sibling workers) hit the
+    shared disk layer; an explicit store arrives as a pickled copy, so
+    its disk layers are shared but memory layers are private.
+    """
+    store = default_store() if store is None else store
+    return spec.key(), _payload_and_result(spec, store)[0]
+
+
+class Campaign:
+    """A batch of run specs executed with dedup, caching, and parallelism.
+
+    Results come back in spec order regardless of completion order, and
+    every result is decoded from its cache payload — the serial and
+    parallel paths therefore produce identical values.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[RunSpec],
+        *,
+        jobs: int = 1,
+        store: ResultStore | None = None,
+    ) -> None:
+        self.specs = list(specs)
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        #: None means "the default stack" — kept distinct from the
+        #: resolved store so pool workers can rebuild their own default
+        #: instead of receiving a pickled copy of the shared memo.
+        self._explicit_store = store
+        self.store = default_store() if store is None else store
+        for spec in self.specs:
+            runner_for(spec.kind)  # fail fast on unregistered kinds
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def run(self) -> list[Any]:
+        """Execute every spec and return results in spec order."""
+        unique: dict[str, RunSpec] = {}
+        for spec in self.specs:
+            unique.setdefault(spec.key(), spec)
+        payloads: dict[str, dict] = {}
+        if self.jobs == 1 or len(unique) <= 1:
+            for key, spec in unique.items():
+                payloads[key] = _payload_and_result(spec, self.store)[0]
+        else:
+            # Workers under the default stack already persisted to the
+            # shared disk layer; only the in-process memo needs the
+            # payload.  An explicit store gets a full write-through.
+            backfill = (
+                GLOBAL_MEMORY if self._explicit_store is None else self.store
+            )
+            workers = min(self.jobs, len(unique))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_worker_execute, spec, self._explicit_store)
+                    for spec in unique.values()
+                ]
+                for future in as_completed(futures):
+                    key, payload = future.result()
+                    payloads[key] = payload
+                    backfill.put(key, payload)
+        results = []
+        for spec in self.specs:
+            result = _decode_cached(spec.kind, spec.key(), payloads[spec.key()])
+            if result is None:
+                raise ConfigurationError(
+                    f"runner codec for kind {spec.kind!r} cannot round-trip "
+                    f"its result"
+                )
+            results.append(result)
+        return results

@@ -1,0 +1,101 @@
+"""Run specifications and the runner registry.
+
+A *run spec* is a frozen dataclass describing one experiment: it
+carries a ``kind`` class attribute naming its runner and a stable
+``key()`` used for caching and deduplication.  The registry maps each
+kind to a :class:`Runner` — the execute function plus the JSON codecs
+that let results round-trip through a :class:`~repro.campaign.stores.ResultStore`.
+
+Registering a runner in the module that defines its spec class makes
+the pairing survive process boundaries: unpickling a spec in a pool
+worker imports the defining module, which re-registers the runner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+#: Bump when model changes invalidate cached results.
+CACHE_VERSION = "v1"
+
+
+@runtime_checkable
+class RunSpec(Protocol):
+    """Anything the campaign engine can execute.
+
+    Implementations are frozen dataclasses so they hash, compare, and
+    pickle cleanly (pool workers receive specs by pickle).
+    """
+
+    #: Registry name of the runner that executes this spec.
+    kind: ClassVar[str]
+
+    def key(self) -> str:
+        """Stable cache key of this spec."""
+        ...
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Default cache key: ``<kind>-<sha256 of the field payload>``.
+
+    The digest covers the cache version, the kind, and every dataclass
+    field, so two specs collide only when they describe the same run.
+    """
+    payload = json.dumps(spec.__dict__, sort_keys=True, default=str)
+    digest = hashlib.sha256(
+        f"{CACHE_VERSION}|{spec.kind}|{payload}".encode()
+    ).hexdigest()
+    return f"{spec.kind}-{digest[:20]}"
+
+
+@dataclass(frozen=True)
+class Runner:
+    """Execution + serialization triple for one spec kind."""
+
+    kind: str
+    #: Runs the spec, returning the (arbitrary) result object.
+    execute: Callable[[Any], Any]
+    #: Result object -> JSON-serializable dict.
+    encode: Callable[[Any], dict]
+    #: JSON dict -> result object (inverse of ``encode``).
+    decode: Callable[[dict], Any]
+
+
+_RUNNERS: dict[str, Runner] = {}
+
+
+def register_runner(
+    kind: str,
+    execute: Callable[[Any], Any],
+    *,
+    encode: Callable[[Any], dict],
+    decode: Callable[[dict], Any],
+) -> Runner:
+    """Register (or re-register) the runner for ``kind``.
+
+    Re-registration is allowed so module reloads stay idempotent.
+    """
+    runner = Runner(kind=kind, execute=execute, encode=encode, decode=decode)
+    _RUNNERS[kind] = runner
+    return runner
+
+
+def runner_for(kind: str) -> Runner:
+    """Look up the runner for a spec kind."""
+    runner = _RUNNERS.get(kind)
+    if runner is None:
+        raise ConfigurationError(
+            f"no runner registered for spec kind {kind!r} "
+            f"(registered: {sorted(_RUNNERS) or 'none'})"
+        )
+    return runner
+
+
+def registered_kinds() -> tuple[str, ...]:
+    """Names of all registered spec kinds."""
+    return tuple(sorted(_RUNNERS))

@@ -1,0 +1,169 @@
+"""Pluggable result stores for the campaign engine.
+
+A :class:`ResultStore` maps spec keys to JSON-serializable payload
+dicts.  Stores never see result objects — en/decoding belongs to the
+runner (:mod:`repro.campaign.spec`) — so any store can hold any kind.
+
+Implementations:
+
+- :class:`MemoryStore` — per-process dict (the old in-process memo).
+- :class:`JsonDirStore` — sharded on-disk JSON, written atomically via
+  a ``.tmp`` sibling and :func:`os.replace` so concurrent readers never
+  observe a torn file.
+- :class:`NullStore` — caches nothing (every run recomputes).
+- :class:`TieredStore` — layered lookup (memory in front of disk) with
+  read-through backfill.
+
+:func:`default_store` assembles the standard stack from the
+environment: ``REPRO_CACHE_DIR`` relocates the disk cache (default
+``.exp_cache``), ``REPRO_CACHE=0`` drops the disk layer entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+
+class ResultStore(ABC):
+    """Key -> payload-dict storage with cache-miss-as-None semantics."""
+
+    @abstractmethod
+    def get(self, key: str) -> dict | None:
+        """Return the payload stored under ``key``, or None on a miss."""
+
+    @abstractmethod
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` (best effort; may drop)."""
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+
+class NullStore(ResultStore):
+    """Stores nothing; every lookup misses."""
+
+    def get(self, key: str) -> dict | None:
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        pass
+
+
+class MemoryStore(ResultStore):
+    """In-process dict store."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict] = {}
+
+    def get(self, key: str) -> dict | None:
+        return self._data.get(key)
+
+    def put(self, key: str, payload: dict) -> None:
+        self._data[key] = payload
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every cached payload."""
+        self._data.clear()
+
+
+class JsonDirStore(ResultStore):
+    """Sharded on-disk JSON store with atomic writes.
+
+    Keys live under ``root/<shard>/<key>.json`` where the shard is the
+    last two hex characters of the key hash, keeping directories small
+    when campaigns write thousands of results.  Writes go to a
+    ``.tmp.<pid>`` sibling first and are published with
+    :func:`os.replace`, so a reader (or a concurrent pool worker) can
+    never observe a partially written file.  I/O errors degrade to
+    cache misses — the store is an accelerator, not a dependency.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[-2:] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            with path.open() as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            # Missing, unreadable, or mid-upgrade partial legacy file.
+            payload = self._get_legacy(key)
+        return payload if isinstance(payload, dict) else None
+
+    def _get_legacy(self, key: str) -> dict | None:
+        # Pre-sharding layout: a flat root/<key>.json file.
+        try:
+            with (self.root / f"{key}.json").open() as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+class TieredStore(ResultStore):
+    """Layered store: first hit wins, earlier layers are backfilled.
+
+    ``put`` writes through to every layer, so a memory front absorbs
+    repeat lookups while a disk back survives the process.
+    """
+
+    def __init__(self, layers: list[ResultStore]) -> None:
+        self.layers = list(layers)
+
+    def get(self, key: str) -> dict | None:
+        for index, layer in enumerate(self.layers):
+            payload = layer.get(key)
+            if payload is not None:
+                for earlier in self.layers[:index]:
+                    earlier.put(key, payload)
+                return payload
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        for layer in self.layers:
+            layer.put(key, payload)
+
+
+#: Process-wide memory layer shared by every default store instance,
+#: preserving the old "one pytest session never repeats a run" memo.
+GLOBAL_MEMORY = MemoryStore()
+
+
+def cache_dir() -> Path:
+    """The on-disk cache directory (``REPRO_CACHE_DIR``, default ``.exp_cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".exp_cache"))
+
+
+def disk_cache_enabled() -> bool:
+    """Whether the disk layer is active (``REPRO_CACHE=0`` disables it)."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_store() -> ResultStore:
+    """The standard store stack: shared memory memo, then disk."""
+    if not disk_cache_enabled():
+        return GLOBAL_MEMORY
+    return TieredStore([GLOBAL_MEMORY, JsonDirStore(cache_dir())])

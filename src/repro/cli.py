@@ -9,6 +9,8 @@ Commands:
 - ``compare`` — run every Chapter 4 scheme on one mix and print the
   normalized table (the Fig. 4.3 view).
 - ``homogeneous`` — the §5.4.1 warm-up experiment for one program.
+- ``campaign`` — expand a named (mix x policy x cooling/platform) grid
+  through the parallel campaign engine and print or export the table.
 
 Examples::
 
@@ -17,19 +19,27 @@ Examples::
     python -m repro compare --mix W3 --copies 1
     python -m repro server --platform SR1500AL --mix W1 --policy comb
     python -m repro homogeneous --platform SR1500AL --app swim
+    python -m repro campaign --mixes W1,W2 --policies ts,acg --jobs 4
+    python -m repro campaign --grid ch5 --mixes W1 --policies bw,comb \\
+        --platforms PE1950,SR1500AL --export results/campaign.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+from pathlib import Path
 
+from repro.analysis.campaigns import CAMPAIGN_GRIDS, run_campaign
 from repro.analysis.experiments import (
     CHAPTER4_POLICIES,
+    CHAPTER4_POLICY_CHOICES,
     CHAPTER5_POLICIES,
     make_chapter4_policy,
     make_chapter5_policy,
 )
-from repro.analysis.tables import format_series, format_table
+from repro.analysis.tables import format_csv, format_series, format_table
+from repro.errors import ConfigurationError
 from repro.core.simulator import SimulationConfig, TwoLevelSimulator
 from repro.core.windowmodel import WindowModel
 from repro.params.thermal_params import (
@@ -53,7 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="one Chapter 4 simulation run")
     simulate.add_argument("--mix", default="W1")
-    simulate.add_argument("--policy", default="acg", choices=CHAPTER4_POLICIES)
+    simulate.add_argument("--policy", default="acg", choices=CHAPTER4_POLICY_CHOICES)
     simulate.add_argument("--cooling", default="AOHS_1.5", choices=sorted(COOLING_CONFIGS))
     simulate.add_argument("--ambient", default="isolated", choices=("isolated", "integrated"))
     simulate.add_argument("--copies", type=int, default=2)
@@ -73,6 +83,40 @@ def _build_parser() -> argparse.ArgumentParser:
     homogeneous.add_argument("--platform", default="SR1500AL", choices=sorted(_PLATFORMS))
     homogeneous.add_argument("--app", default="swim")
     homogeneous.add_argument("--duration", type=float, default=500.0)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a named experiment grid through the campaign engine"
+    )
+    campaign.add_argument(
+        "--grid", default="ch4", choices=sorted(CAMPAIGN_GRIDS),
+        help="named grid: ch4 (simulation) or ch5 (server measurement)",
+    )
+    campaign.add_argument(
+        "--mixes", default="W1", help="comma-separated workload mixes"
+    )
+    campaign.add_argument(
+        "--policies", default=None,
+        help="comma-separated policies (default: every policy of the grid)",
+    )
+    campaign.add_argument(
+        "--coolings", default=None,
+        help="comma-separated cooling configs (ch4 grid only; "
+        "default AOHS_1.5)",
+    )
+    campaign.add_argument(
+        "--platforms", default=None,
+        help="comma-separated server platforms (ch5 grid only; "
+        "default PE1950)",
+    )
+    campaign.add_argument("--copies", type=int, default=2)
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (results are order-deterministic)",
+    )
+    campaign.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="also write the table as CSV to PATH",
+    )
     return parser
 
 
@@ -154,6 +198,51 @@ def _cmd_homogeneous(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv_arg(raw: str) -> list[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    grid = CAMPAIGN_GRIDS[args.grid]
+    policies = (
+        _split_csv_arg(args.policies)
+        if args.policies is not None
+        else list(grid.policy_choices)
+    )
+    all_variant_flags = {g.variant_flag for g in CAMPAIGN_GRIDS.values()}
+    for flag in sorted(all_variant_flags - {grid.variant_flag}):
+        if getattr(args, flag.lstrip("-")) is not None:
+            print(
+                f"error: {flag} does not apply to the {args.grid} grid",
+                file=sys.stderr,
+            )
+            return 2
+    raw_variants = getattr(args, grid.variant_flag.lstrip("-"))
+    variants = _split_csv_arg(
+        raw_variants if raw_variants is not None else grid.variant_default
+    )
+    try:
+        headers, rows = run_campaign(
+            args.grid,
+            mixes=_split_csv_arg(args.mixes),
+            policies=policies,
+            variants=variants,
+            copies=args.copies,
+            jobs=args.jobs,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"campaign {args.grid}: {len(rows)} runs\n")
+    print(format_table(headers, rows))
+    if args.export:
+        path = Path(args.export)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(format_csv(headers, rows) + "\n")
+        print(f"\nexported {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -162,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "server": _cmd_server,
         "homogeneous": _cmd_homogeneous,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

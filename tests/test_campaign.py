@@ -1,0 +1,324 @@
+"""Campaign engine: stores, runner registry, sweeps, parallel execution."""
+
+import json
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.analysis.experiments import (
+    Chapter4Spec,
+    run_result_from_dict,
+    run_result_to_dict,
+    server_result_from_dict,
+    server_result_to_dict,
+)
+from repro.campaign import (
+    GLOBAL_MEMORY,
+    Campaign,
+    JsonDirStore,
+    MemoryStore,
+    NullStore,
+    TieredStore,
+    register_runner,
+    registered_kinds,
+    run,
+    runner_for,
+    spec_key,
+    sweep,
+)
+from repro.core.results import RunResult, TemperatureTrace
+from repro.errors import ConfigurationError
+from repro.testbed.runner import ServerRunResult
+
+# ---------------------------------------------------------------------------
+# A tiny synthetic runner so engine tests don't pay for real simulations.
+# ---------------------------------------------------------------------------
+
+_CALLS = {"square": 0}
+
+
+@dataclass(frozen=True)
+class SquareSpec:
+    kind: ClassVar[str] = "test-square"
+
+    value: int = 2
+
+    def key(self) -> str:
+        return spec_key(self)
+
+
+def _execute_square(spec: SquareSpec) -> dict:
+    _CALLS["square"] += 1
+    return {"value": spec.value, "square": spec.value**2}
+
+
+register_runner("test-square", _execute_square, encode=dict, decode=dict)
+
+
+def _sample_trace() -> TemperatureTrace:
+    trace = TemperatureTrace()
+    trace.append(0.0, 100.0, 75.0, 45.0)
+    trace.append(1.0, 101.5, 75.5, 45.2)
+    trace.append(2.0, 103.25, 76.0, 45.4)
+    return trace
+
+
+def _sample_run_result() -> RunResult:
+    return RunResult(
+        workload="W1", policy="DTM-TS", cooling="AOHS_1.5",
+        runtime_s=123.5, traffic_bytes=1.5e12, l2_misses=2e9,
+        instructions=5e11, cpu_energy_j=3.2e4, memory_energy_j=2.1e4,
+        mean_ambient_c=45.0, peak_amb_c=109.9, peak_dram_c=79.5,
+        shutdown_fraction=0.25, finished_jobs=8, trace=_sample_trace(),
+    )
+
+
+def _sample_server_result() -> ServerRunResult:
+    return ServerRunResult(
+        platform="PE1950", workload="W1", policy="DTM-BW",
+        runtime_s=356.0, traffic_bytes=1.2e12, l2_misses=1.5e10,
+        instructions=4e11, cpu_energy_j=3.2e4, memory_energy_j=1.4e4,
+        mean_inlet_c=36.8, peak_amb_c=79.4, finished_jobs=8,
+        trace=_sample_trace(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runner registry + sweeps
+# ---------------------------------------------------------------------------
+
+
+def test_registry_round_trip():
+    runner = runner_for("test-square")
+    assert runner.kind == "test-square"
+    assert {"ch4", "ch5", "test-square"} <= set(registered_kinds())
+    with pytest.raises(ConfigurationError):
+        runner_for("no-such-kind")
+
+
+def test_spec_key_distinguishes_kinds():
+    assert SquareSpec(2).key() != SquareSpec(3).key()
+    assert SquareSpec(2).key() == SquareSpec(2).key()
+    assert SquareSpec(2).key().startswith("test-square-")
+
+
+def test_sweep_expands_row_major():
+    specs = sweep(SquareSpec, {"value": (3, 1, 2)})
+    assert [s.value for s in specs] == [3, 1, 2]
+    ch4 = sweep(
+        Chapter4Spec,
+        {"mix": ("W1", "W2"), "policy": ("ts", "acg")},
+        cooling="FDHS_1.0",
+    )
+    assert [(s.mix, s.policy) for s in ch4] == [
+        ("W1", "ts"), ("W1", "acg"), ("W2", "ts"), ("W2", "acg")
+    ]
+    assert all(s.cooling == "FDHS_1.0" for s in ch4)
+
+
+def test_sweep_rejects_bad_grids():
+    with pytest.raises(ConfigurationError):
+        sweep(SquareSpec, {})
+    with pytest.raises(ConfigurationError):
+        sweep(SquareSpec, {"value": (1, 2)}, value=3)
+
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+
+
+def test_memory_store_round_trip():
+    store = MemoryStore()
+    assert store.get("k") is None
+    store.put("k", {"a": 1})
+    assert store.get("k") == {"a": 1}
+    assert "k" in store and "other" not in store
+    store.clear()
+    assert store.get("k") is None
+
+
+def test_null_store_drops_everything():
+    store = NullStore()
+    store.put("k", {"a": 1})
+    assert store.get("k") is None
+
+
+def test_json_dir_store_round_trip(tmp_path):
+    store = JsonDirStore(tmp_path)
+    key = "test-square-abc123"
+    assert store.get(key) is None
+    store.put(key, {"value": 2, "square": 4})
+    assert store.get(key) == {"value": 2, "square": 4}
+    # Sharded layout, and no temp files left behind.
+    assert (tmp_path / key[-2:] / f"{key}.json").exists()
+    assert not list(tmp_path.rglob("*.tmp.*"))
+
+
+def test_json_dir_store_reads_legacy_flat_layout(tmp_path):
+    key = "ch4-0123456789abcdef0123"
+    (tmp_path / f"{key}.json").write_text(json.dumps({"legacy": True}))
+    assert JsonDirStore(tmp_path).get(key) == {"legacy": True}
+
+
+def test_json_dir_store_write_is_atomic(tmp_path, monkeypatch):
+    """A failed write never tears the previously published payload."""
+    store = JsonDirStore(tmp_path)
+    key = "test-square-atomic01"
+    store.put(key, {"generation": 1})
+
+    def torn_dump(payload, handle, **kwargs):
+        handle.write('{"generation": 2, "torn')
+        handle.flush()
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.campaign.stores.json.dump", torn_dump)
+    store.put(key, {"generation": 2})
+    monkeypatch.undo()
+    # The reader still sees the intact old payload, and the torn temp
+    # file was cleaned up rather than published over it.
+    assert store.get(key) == {"generation": 1}
+    assert not list(tmp_path.rglob("*.tmp.*"))
+
+
+def test_json_dir_store_ignores_corrupt_files(tmp_path):
+    store = JsonDirStore(tmp_path)
+    key = "test-square-corrupt1"
+    path = tmp_path / key[-2:] / f"{key}.json"
+    path.parent.mkdir(parents=True)
+    path.write_text('{"half": ')
+    assert store.get(key) is None
+
+
+def test_tiered_store_backfills_front_layers(tmp_path):
+    front = MemoryStore()
+    back = JsonDirStore(tmp_path)
+    store = TieredStore([front, back])
+    back.put("k", {"a": 1})
+    assert front.get("k") is None
+    assert store.get("k") == {"a": 1}
+    assert front.get("k") == {"a": 1}  # backfilled
+    store.put("j", {"b": 2})
+    assert front.get("j") == {"b": 2} and back.get("j") == {"b": 2}
+
+
+# ---------------------------------------------------------------------------
+# Result codecs through the disk store (satellite: cache round-trip)
+# ---------------------------------------------------------------------------
+
+
+def test_run_result_disk_round_trip(tmp_path):
+    store = JsonDirStore(tmp_path)
+    original = _sample_run_result()
+    store.put("ch4-roundtrip0000000001", run_result_to_dict(original))
+    restored = run_result_from_dict(store.get("ch4-roundtrip0000000001"))
+    assert restored == original
+    assert restored.trace.times_s == original.trace.times_s
+    assert restored.trace.amb_c == original.trace.amb_c
+
+
+def test_server_result_disk_round_trip(tmp_path):
+    store = JsonDirStore(tmp_path)
+    original = _sample_server_result()
+    store.put("ch5-roundtrip0000000001", server_result_to_dict(original))
+    restored = server_result_from_dict(store.get("ch5-roundtrip0000000001"))
+    assert restored == original
+    assert restored.trace.dram_c == original.trace.dram_c
+
+
+# ---------------------------------------------------------------------------
+# Engine: caching, dedup, parallel vs serial
+# ---------------------------------------------------------------------------
+
+
+def test_run_short_circuits_on_cache_hit(tmp_path):
+    store = TieredStore([MemoryStore(), JsonDirStore(tmp_path)])
+    _CALLS["square"] = 0
+    first = run(SquareSpec(7), store)
+    second = run(SquareSpec(7), store)
+    assert first == second == {"value": 7, "square": 49}
+    assert _CALLS["square"] == 1  # runner not invoked twice for one key
+    # A fresh memory layer over the same disk store still hits disk.
+    cold = TieredStore([MemoryStore(), JsonDirStore(tmp_path)])
+    assert run(SquareSpec(7), cold) == first
+    assert _CALLS["square"] == 1
+
+
+def test_run_recomputes_with_null_store():
+    _CALLS["square"] = 0
+    run(SquareSpec(5), NullStore())
+    run(SquareSpec(5), NullStore())
+    assert _CALLS["square"] == 2
+
+
+def test_campaign_deduplicates_specs():
+    _CALLS["square"] = 0
+    campaign = Campaign(
+        [SquareSpec(3), SquareSpec(4), SquareSpec(3)], store=MemoryStore()
+    )
+    results = campaign.run()
+    assert [r["square"] for r in results] == [9, 16, 9]
+    assert _CALLS["square"] == 2
+
+
+def test_campaign_parallel_matches_serial():
+    specs = sweep(SquareSpec, {"value": (1, 2, 3, 4, 5)})
+    serial = Campaign(specs, jobs=1, store=MemoryStore()).run()
+    parallel = Campaign(specs, jobs=3, store=MemoryStore()).run()
+    assert serial == parallel
+    assert [r["square"] for r in serial] == [1, 4, 9, 16, 25]
+
+
+def test_campaign_workers_honor_explicit_store(tmp_path, monkeypatch):
+    """Pool workers must not consult the default cache stack when the
+    campaign was given its own store."""
+    poison = {"value": 21, "square": -1}
+    key = SquareSpec(21).key()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default"))
+    JsonDirStore(tmp_path / "default").put(key, poison)
+    GLOBAL_MEMORY.put(key, poison)
+    try:
+        own = JsonDirStore(tmp_path / "own")
+        specs = sweep(SquareSpec, {"value": (21, 22)})
+        results = Campaign(specs, jobs=2, store=own).run()
+        # A worker that consulted the default stack would return the
+        # poisoned payload instead of recomputing.
+        assert [r["square"] for r in results] == [441, 484]
+        assert own.get(key) == {"value": 21, "square": 441}
+    finally:
+        GLOBAL_MEMORY._data.pop(key, None)
+
+
+def test_campaign_parallel_real_runs_match_serial(tmp_path, monkeypatch):
+    """Chapter 4 runs give identical results under jobs=1 and jobs=2."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "par"))
+    specs = sweep(
+        Chapter4Spec, {"policy": ("no-limit", "ts")}, mix="W1", copies=1
+    )
+    parallel = Campaign(specs, jobs=2, store=NullStore()).run()
+    serial = Campaign(specs, jobs=1, store=NullStore()).run()
+    assert serial == parallel
+    assert serial[0].policy == "No-limit" or serial[0].runtime_s > 0
+
+
+def test_campaign_rejects_bad_jobs():
+    with pytest.raises(ConfigurationError):
+        Campaign([SquareSpec(1)], jobs=0)
+
+
+def test_campaign_worker_results_populate_parent_store():
+    store = MemoryStore()
+    specs = sweep(SquareSpec, {"value": (11, 12)})
+    Campaign(specs, jobs=2, store=store).run()
+    assert store.get(SquareSpec(11).key()) == {"value": 11, "square": 121}
+
+
+def test_global_memory_is_default_front(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    _CALLS["square"] = 0
+    GLOBAL_MEMORY._data.pop(SquareSpec(9).key(), None)
+    run(SquareSpec(9))
+    run(SquareSpec(9))
+    assert _CALLS["square"] == 1
+    assert GLOBAL_MEMORY.get(SquareSpec(9).key()) is not None

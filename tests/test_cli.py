@@ -39,6 +39,13 @@ def test_homogeneous_command(capsys):
     assert "AMB" in out
 
 
+def test_simulate_comb_policy(capsys):
+    code = main(["simulate", "--mix", "W1", "--policy", "comb", "--copies", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DTM-COMB" in out
+
+
 def test_unknown_policy_rejected():
     with pytest.raises(SystemExit):
         main(["simulate", "--policy", "warp"])
@@ -47,3 +54,50 @@ def test_unknown_policy_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_campaign_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    export = tmp_path / "out" / "campaign.csv"
+    code = main([
+        "campaign", "--mixes", "W1", "--policies", "ts,acg",
+        "--copies", "1", "--jobs", "1", "--export", str(export),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "campaign ch4: 2 runs" in out
+    assert "runtime(s)" in out
+    csv = export.read_text()
+    assert csv.startswith("cooling,mix,policy,")
+    assert len(csv.strip().splitlines()) == 3  # header + 2 runs
+
+
+def test_campaign_parallel_output_is_deterministic(capsys, tmp_path, monkeypatch):
+    from repro.campaign import GLOBAL_MEMORY
+
+    GLOBAL_MEMORY.clear()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c1"))
+    args = ["campaign", "--grid", "ch5", "--mixes", "W1",
+            "--policies", "bw,comb", "--copies", "1"]
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    # Fresh caches so the serial run really recomputes.
+    GLOBAL_MEMORY.clear()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c2"))
+    assert main(args + ["--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+
+
+def test_campaign_bad_inputs_fail_cleanly(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["campaign", "--mixes", "W1", "--policies", "warp"]) == 2
+    assert "unknown ch4 policies" in capsys.readouterr().err
+    assert main(["campaign", "--mixes", "", "--policies", "ts"]) == 2
+    assert "zero runs" in capsys.readouterr().err
+    assert main(["campaign", "--mixes", "W1", "--jobs", "0"]) == 2
+    assert "jobs must be >= 1" in capsys.readouterr().err
+    assert main(["campaign", "--grid", "ch5", "--coolings", "FDHS_1.0"]) == 2
+    assert "does not apply" in capsys.readouterr().err
+    assert main(["campaign", "--grid", "ch4", "--platforms", "PE1950"]) == 2
+    assert "does not apply" in capsys.readouterr().err
