@@ -6,6 +6,12 @@ named grid pairs a spec sweep with the metric columns its table
 reports; the campaign engine handles expansion, caching, parallelism,
 and deterministic ordering, so the same grid run with any ``--jobs``
 value produces an identical table.
+
+Every grid cell is composed through the scenario engine
+(:mod:`repro.scenarios`): the ``ch4``/``ch5`` grids lower canonical
+:func:`~repro.scenarios.scenario.grid_scenario` cells, and the
+``scenarios`` grid sweeps the registered scenario library itself,
+optionally crossed with extra mixes or policies.
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from repro.analysis.experiments import (
     Chapter4Spec,
     Chapter5Spec,
 )
-from repro.campaign import Campaign, ResultStore, sweep
+from repro.campaign import Campaign, ResultStore
 from repro.errors import ConfigurationError
+from repro.scenarios import get_scenario, grid_scenario, scenario_names
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,18 @@ class NamedGrid:
     headers: list[str]
     #: (spec, result) -> one table row.
     row: Callable[[Any, Any], list[Any]]
+    #: Mixes used when ``--mixes`` is not given; empty means "keep each
+    #: scenario's own mix" (only meaningful for the scenarios grid).
+    mixes_default: tuple[str, ...] = ("W1",)
+    #: Policies used when ``--policies`` is not given; empty means "keep
+    #: each scenario's own policy".
+    policies_default: tuple[str, ...] | None = None
+
+    def default_policies(self) -> list[str]:
+        """The policy sweep when the user gives no ``--policies``."""
+        if self.policies_default is None:
+            return list(self.policy_choices)
+        return list(self.policies_default)
 
 
 def _expand_ch4(
@@ -50,11 +69,12 @@ def _expand_ch4(
     coolings: Sequence[str],
     copies: int,
 ) -> list[Chapter4Spec]:
-    return sweep(
-        Chapter4Spec,
-        {"cooling": coolings, "mix": mixes, "policy": policies},
-        copies=copies,
-    )
+    return [
+        grid_scenario("ch4", mix, policy, cooling=cooling).spec(copies=copies)
+        for cooling in coolings
+        for mix in mixes
+        for policy in policies
+    ]
 
 
 def _ch4_row(spec: Chapter4Spec, result: Any) -> list[Any]:
@@ -78,11 +98,12 @@ def _expand_ch5(
     platforms: Sequence[str],
     copies: int,
 ) -> list[Chapter5Spec]:
-    return sweep(
-        Chapter5Spec,
-        {"platform": platforms, "mix": mixes, "policy": policies},
-        copies=copies,
-    )
+    return [
+        grid_scenario("ch5", mix, policy, platform=platform).spec(copies=copies)
+        for platform in platforms
+        for mix in mixes
+        for policy in policies
+    ]
 
 
 def _ch5_row(spec: Chapter5Spec, result: Any) -> list[Any]:
@@ -94,6 +115,41 @@ def _ch5_row(spec: Chapter5Spec, result: Any) -> list[Any]:
         result.l2_misses / 1e9,
         result.average_cpu_power_w,
         result.mean_inlet_c,
+        result.peak_amb_c,
+    ]
+
+
+def _expand_scenarios(
+    mixes: Sequence[str],
+    policies: Sequence[str],
+    names: Sequence[str],
+    copies: int,
+) -> list[Any]:
+    expanded: list[str] = []
+    for token in names:
+        if token == "all":
+            expanded.extend(scenario_names())
+        else:
+            expanded.append(token)
+    specs = []
+    for name in expanded:
+        scenario = get_scenario(name)
+        for mix in (mixes or [None]):
+            for policy in (policies or [None]):
+                specs.append(scenario.spec(copies=copies, mix=mix, policy=policy))
+    return specs
+
+
+def _scenario_row(spec: Any, result: Any) -> list[Any]:
+    return [
+        spec.scenario or "-",
+        spec.kind,
+        spec.mix,
+        spec.policy,
+        result.runtime_s,
+        result.traffic_bytes / 1e12,
+        result.cpu_energy_j / 1e3,
+        result.memory_energy_j / 1e3,
         result.peak_amb_c,
     ]
 
@@ -127,6 +183,24 @@ CAMPAIGN_GRIDS: dict[str, NamedGrid] = {
         ],
         row=_ch5_row,
     ),
+    "scenarios": NamedGrid(
+        name="scenarios",
+        description="registered scenario library "
+        "(scenario [x mix] [x policy])",
+        policy_choices=tuple(
+            dict.fromkeys(CHAPTER4_POLICY_CHOICES + CHAPTER5_POLICIES)
+        ),
+        variant_flag="--scenarios",
+        variant_default="all",
+        expand=_expand_scenarios,
+        headers=[
+            "scenario", "kind", "mix", "policy", "runtime(s)",
+            "traffic(TB)", "cpuE(kJ)", "memE(kJ)", "peak AMB",
+        ],
+        row=_scenario_row,
+        mixes_default=(),
+        policies_default=(),
+    ),
 }
 
 
@@ -143,8 +217,9 @@ def run_campaign(
     """Run a named grid and return its (headers, rows) table.
 
     ``variants`` selects the grid's third axis — cooling configurations
-    for ``ch4``, server platforms for ``ch5``.  Rows come back in
-    deterministic sweep order regardless of ``jobs``.
+    for ``ch4``, server platforms for ``ch5``, scenario names (or
+    ``all``) for ``scenarios``.  Rows come back in deterministic sweep
+    order regardless of ``jobs``.
     """
     grid = CAMPAIGN_GRIDS.get(grid_name)
     if grid is None:

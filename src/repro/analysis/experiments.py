@@ -20,14 +20,14 @@ paper uses 50, the default here is 2 — shapes are scale-invariant).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import ClassVar
 
 from repro.campaign import register_runner, run, spec_key
 from repro.campaign.spec import CACHE_VERSION  # noqa: F401  (compat re-export)
 from repro.core.results import RunResult, TemperatureTrace
 from repro.core.simulator import SimulationConfig, TwoLevelSimulator
-from repro.core.windowmodel import WindowModel
+from repro.core.windowmodel import MemoryEnvelope, WindowModel
 from repro.dtm.acg import DTMACG
 from repro.dtm.base import DTMPolicy, NoLimitPolicy
 from repro.dtm.bw import DTMBW
@@ -84,6 +84,9 @@ class Chapter4Spec:
     """One Chapter 4 simulation run."""
 
     kind: ClassVar[str] = "ch4"
+    #: Presentation-only fields left out of the cache key: the same
+    #: physical run under different scenario labels shares one entry.
+    KEY_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("scenario",)
 
     mix: str = "W1"
     policy: str = "ts"
@@ -98,6 +101,18 @@ class Chapter4Spec:
     amb_trp_c: float | None = None
     dram_trp_c: float | None = None
     record_trace: bool = False
+    #: Name of the scenario that produced this spec (None for ad-hoc runs).
+    scenario: str | None = None
+    #: Machine-room inlet shift, degC (scenario knob; 0 = Table 3.3).
+    inlet_delta_c: float = 0.0
+    #: Platform shape overrides (Table 4.1 uses 4 channels x 4 DIMMs).
+    channels: int = 4
+    dimms_per_channel: int = 4
+    #: Traffic shape: the cores run ``duty_cycle`` of each period.
+    duty_cycle: float = 1.0
+    duty_period_s: float = 0.1
+    #: Scales the memory envelope's peak bandwidth (narrow/wide pipes).
+    bandwidth_scale: float = 1.0
 
     def key(self) -> str:
         """Stable hash key of this spec."""
@@ -129,16 +144,17 @@ def make_chapter4_policy(
     raise ConfigurationError(f"unknown Chapter 4 policy {name!r}")
 
 
-#: Shared window models (memoized level-1 evaluations), per process.
-_window_models: dict[str, WindowModel] = {}
+#: Shared window models (memoized level-1 evaluations), per process,
+#: keyed by the memory envelope they were built for (None = default).
+_window_models: dict[MemoryEnvelope | None, WindowModel] = {}
 _server_models: dict[str, ServerWindowModel] = {}
 
 
-def _shared_window_model() -> WindowModel:
-    model = _window_models.get("default")
+def _shared_window_model(envelope: MemoryEnvelope | None = None) -> WindowModel:
+    model = _window_models.get(envelope)
     if model is None:
-        model = WindowModel()
-        _window_models["default"] = model
+        model = WindowModel(envelope=envelope)
+        _window_models[envelope] = model
     return model
 
 
@@ -149,6 +165,19 @@ def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
     ambient = ISOLATED_AMBIENT if spec.ambient == "isolated" else INTEGRATED_AMBIENT
     if spec.interaction is not None:
         ambient = ambient.with_interaction(spec.interaction)
+    if spec.inlet_delta_c != 0.0:
+        ambient = ambient.with_inlet_delta(spec.inlet_delta_c)
+    envelope: MemoryEnvelope | None = None
+    if spec.bandwidth_scale != 1.0:
+        if spec.bandwidth_scale <= 0:
+            raise ConfigurationError("bandwidth_scale must be positive")
+        base = MemoryEnvelope()
+        envelope = replace(
+            base,
+            peak_bandwidth_bytes_per_s=(
+                base.peak_bandwidth_bytes_per_s * spec.bandwidth_scale
+            ),
+        )
     config = SimulationConfig(
         mix_name=spec.mix,
         copies=spec.copies,
@@ -156,11 +185,18 @@ def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
         ambient=ambient,
         dtm_interval_s=spec.dtm_interval_s,
         record_trace=spec.record_trace,
+        physical_channels=spec.channels,
+        dimms_per_channel=spec.dimms_per_channel,
+        duty_cycle=spec.duty_cycle,
+        duty_period_s=spec.duty_period_s,
+        envelope=envelope if envelope is not None else MemoryEnvelope(),
     )
     policy = make_chapter4_policy(
         spec.policy, amb_trp_c=spec.amb_trp_c, dram_trp_c=spec.dram_trp_c
     )
-    return TwoLevelSimulator(config, policy, window_model=_shared_window_model()).run()
+    return TwoLevelSimulator(
+        config, policy, window_model=_shared_window_model(envelope)
+    ).run()
 
 
 def run_chapter4(spec: Chapter4Spec) -> RunResult:
@@ -181,6 +217,8 @@ class Chapter5Spec:
     """One Chapter 5 server measurement."""
 
     kind: ClassVar[str] = "ch5"
+    #: Presentation-only fields left out of the cache key (see ch4).
+    KEY_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("scenario",)
 
     platform: str = "PE1950"
     mix: str = "W1"
@@ -190,6 +228,8 @@ class Chapter5Spec:
     ambient_override_c: float | None = None
     amb_tdp_c: float | None = None
     base_frequency_level: int = 0
+    #: Name of the scenario that produced this spec (None for ad-hoc runs).
+    scenario: str | None = None
 
     def key(self) -> str:
         """Stable hash key of this spec."""

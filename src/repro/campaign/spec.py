@@ -21,7 +21,7 @@ from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
 from repro.errors import ConfigurationError
 
 #: Bump when model changes invalidate cached results.
-CACHE_VERSION = "v1"
+CACHE_VERSION = "v2"
 
 
 @runtime_checkable
@@ -45,8 +45,14 @@ def spec_key(spec: RunSpec) -> str:
 
     The digest covers the cache version, the kind, and every dataclass
     field, so two specs collide only when they describe the same run.
+    Fields named in the spec class's ``KEY_EXCLUDED_FIELDS`` are pure
+    presentation metadata (e.g. the scenario label) and are left out,
+    so differently-labeled descriptions of the same physical run share
+    one cache entry.
     """
-    payload = json.dumps(spec.__dict__, sort_keys=True, default=str)
+    excluded = getattr(spec, "KEY_EXCLUDED_FIELDS", ())
+    fields = {k: v for k, v in spec.__dict__.items() if k not in excluded}
+    payload = json.dumps(fields, sort_keys=True, default=str)
     digest = hashlib.sha256(
         f"{CACHE_VERSION}|{spec.kind}|{payload}".encode()
     ).hexdigest()

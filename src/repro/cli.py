@@ -11,6 +11,12 @@ Commands:
 - ``homogeneous`` — the §5.4.1 warm-up experiment for one program.
 - ``campaign`` — expand a named (mix x policy x cooling/platform) grid
   through the parallel campaign engine and print or export the table.
+- ``scenarios`` — list the registered scenario library, or run named
+  scenarios through the campaign engine.
+
+Every run — ad-hoc or named — is composed by the scenario engine
+(:mod:`repro.scenarios`) and executed through the campaign engine, so
+results are cached, deduplicated, and identical across entry points.
 
 Examples::
 
@@ -22,6 +28,9 @@ Examples::
     python -m repro campaign --mixes W1,W2 --policies ts,acg --jobs 4
     python -m repro campaign --grid ch5 --mixes W1 --policies bw,comb \\
         --platforms PE1950,SR1500AL --export results/campaign.csv
+    python -m repro scenarios list --kind ch4
+    python -m repro scenarios run hot-ambient throttle-storm --copies 1
+    python -m repro campaign --grid scenarios --scenarios idle-burst,narrow-pipe
 """
 
 from __future__ import annotations
@@ -35,20 +44,14 @@ from repro.analysis.experiments import (
     CHAPTER4_POLICIES,
     CHAPTER4_POLICY_CHOICES,
     CHAPTER5_POLICIES,
-    make_chapter4_policy,
-    make_chapter5_policy,
 )
 from repro.analysis.tables import format_csv, format_series, format_table
-from repro.errors import ConfigurationError
-from repro.core.simulator import SimulationConfig, TwoLevelSimulator
-from repro.core.windowmodel import WindowModel
-from repro.params.thermal_params import (
-    COOLING_CONFIGS,
-    INTEGRATED_AMBIENT,
-    ISOLATED_AMBIENT,
-)
+from repro.campaign import Campaign, run as campaign_run
+from repro.errors import ReproError
+from repro.params.thermal_params import COOLING_CONFIGS
+from repro.scenarios import get_scenario, grid_scenario, iter_scenarios
 from repro.testbed.platforms import PE1950, SR1500AL
-from repro.testbed.runner import ServerSimulator, run_homogeneous
+from repro.testbed.runner import run_homogeneous
 
 _PLATFORMS = {"PE1950": PE1950, "SR1500AL": SR1500AL}
 
@@ -89,14 +92,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--grid", default="ch4", choices=sorted(CAMPAIGN_GRIDS),
-        help="named grid: ch4 (simulation) or ch5 (server measurement)",
+        help="named grid: ch4 (simulation), ch5 (server measurement), "
+        "or scenarios (the registered library)",
     )
     campaign.add_argument(
-        "--mixes", default="W1", help="comma-separated workload mixes"
+        "--mixes", default=None,
+        help="comma-separated workload mixes (default: W1, or each "
+        "scenario's own mix for the scenarios grid)",
     )
     campaign.add_argument(
         "--policies", default=None,
-        help="comma-separated policies (default: every policy of the grid)",
+        help="comma-separated policies (default: every policy of the grid, "
+        "or each scenario's own policy for the scenarios grid)",
     )
     campaign.add_argument(
         "--coolings", default=None,
@@ -108,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated server platforms (ch5 grid only; "
         "default PE1950)",
     )
+    campaign.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario names, or 'all' "
+        "(scenarios grid only; default all)",
+    )
     campaign.add_argument("--copies", type=int, default=2)
     campaign.add_argument(
         "--jobs", type=int, default=1,
@@ -117,19 +129,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export", default=None, metavar="PATH",
         help="also write the table as CSV to PATH",
     )
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list or run the registered scenario library"
+    )
+    action = scenarios.add_subparsers(dest="action", required=True)
+    s_list = action.add_parser("list", help="show every registered scenario")
+    s_list.add_argument("--kind", default=None, choices=("ch4", "ch5"))
+    s_list.add_argument("--tag", default=None, help="filter by scenario tag")
+    s_run = action.add_parser("run", help="run one or more scenarios by name")
+    s_run.add_argument("names", nargs="+", metavar="NAME")
+    s_run.add_argument("--copies", type=int, default=2)
+    s_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (results are order-deterministic)",
+    )
+    s_run.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="also write the table as CSV to PATH",
+    )
     return parser
 
 
+def _export_csv(path_arg: str | None, headers: list[str], rows: list[list]) -> None:
+    if not path_arg:
+        return
+    path = Path(path_arg)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_csv(headers, rows) + "\n")
+    print(f"\nexported {path}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    ambient = ISOLATED_AMBIENT if args.ambient == "isolated" else INTEGRATED_AMBIENT
-    config = SimulationConfig(
-        mix_name=args.mix,
-        copies=args.copies,
-        cooling=COOLING_CONFIGS[args.cooling],
-        ambient=ambient,
+    scenario = grid_scenario(
+        "ch4", args.mix, args.policy, cooling=args.cooling, ambient=args.ambient
     )
-    policy = make_chapter4_policy(args.policy)
-    result = TwoLevelSimulator(config, policy).run()
+    result = campaign_run(scenario.spec(copies=args.copies))
     rows = [
         ["runtime (s)", result.runtime_s],
         ["traffic (TB)", result.traffic_bytes / 1e12],
@@ -140,39 +175,38 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["peak DRAM (degC)", result.peak_dram_c],
         ["shutdown fraction", result.shutdown_fraction],
     ]
-    print(f"{policy.name} on {args.mix} @ {args.cooling} ({args.ambient} model):\n")
+    print(f"{result.policy} on {args.mix} @ {args.cooling} ({args.ambient} model):\n")
     print(format_table(["metric", "value"], rows))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    window_model = WindowModel()
-    config = SimulationConfig(
-        mix_name=args.mix, copies=args.copies, cooling=COOLING_CONFIGS[args.cooling]
-    )
-    baseline = None
-    rows = []
-    for name in CHAPTER4_POLICIES:
-        policy = make_chapter4_policy(name)
-        result = TwoLevelSimulator(config, policy, window_model=window_model).run()
-        if baseline is None:
-            baseline = result
-        rows.append(
-            [policy.name,
-             result.runtime_s / baseline.runtime_s,
-             result.traffic_bytes / baseline.traffic_bytes,
-             result.cpu_energy_j / baseline.cpu_energy_j,
-             result.peak_amb_c]
+    specs = [
+        grid_scenario("ch4", args.mix, policy, cooling=args.cooling).spec(
+            copies=args.copies
         )
+        for policy in CHAPTER4_POLICIES
+    ]
+    results = Campaign(specs).run()
+    baseline = results[0]
+    rows = [
+        [result.policy,
+         result.runtime_s / baseline.runtime_s,
+         result.traffic_bytes / baseline.traffic_bytes,
+         result.cpu_energy_j / baseline.cpu_energy_j,
+         result.peak_amb_c]
+        for result in results
+    ]
     print(f"{args.mix} @ {args.cooling}, normalized to No-limit:\n")
     print(format_table(["scheme", "runtime", "traffic", "cpu E", "peak AMB"], rows))
     return 0
 
 
 def _cmd_server(args: argparse.Namespace) -> int:
-    platform = _PLATFORMS[args.platform]
-    policy = make_chapter5_policy(args.policy, platform)
-    result = ServerSimulator(platform, policy, args.mix, copies=args.copies).run()
+    scenario = grid_scenario(
+        "ch5", args.mix, args.policy, platform=args.platform
+    )
+    result = campaign_run(scenario.spec(copies=args.copies))
     rows = [
         ["runtime (s)", result.runtime_s],
         ["L2 misses (G)", result.l2_misses / 1e9],
@@ -180,7 +214,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         ["mean inlet (degC)", result.mean_inlet_c],
         ["peak AMB (degC)", result.peak_amb_c],
     ]
-    print(f"{policy.name} on {args.mix} @ {platform.name}:\n")
+    print(f"{result.policy} on {args.mix} @ {args.platform}:\n")
     print(format_table(["metric", "value"], rows))
     return 0
 
@@ -204,10 +238,15 @@ def _split_csv_arg(raw: str) -> list[str]:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     grid = CAMPAIGN_GRIDS[args.grid]
+    mixes = (
+        _split_csv_arg(args.mixes)
+        if args.mixes is not None
+        else list(grid.mixes_default)
+    )
     policies = (
         _split_csv_arg(args.policies)
         if args.policies is not None
-        else list(grid.policy_choices)
+        else grid.default_policies()
     )
     all_variant_flags = {g.variant_flag for g in CAMPAIGN_GRIDS.values()}
     for flag in sorted(all_variant_flags - {grid.variant_flag}):
@@ -221,25 +260,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     variants = _split_csv_arg(
         raw_variants if raw_variants is not None else grid.variant_default
     )
-    try:
-        headers, rows = run_campaign(
-            args.grid,
-            mixes=_split_csv_arg(args.mixes),
-            policies=policies,
-            variants=variants,
-            copies=args.copies,
-            jobs=args.jobs,
-        )
-    except ConfigurationError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    headers, rows = run_campaign(
+        args.grid,
+        mixes=mixes,
+        policies=policies,
+        variants=variants,
+        copies=args.copies,
+        jobs=args.jobs,
+    )
     print(f"campaign {args.grid}: {len(rows)} runs\n")
     print(format_table(headers, rows))
-    if args.export:
-        path = Path(args.export)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(format_csv(headers, rows) + "\n")
-        print(f"\nexported {path}")
+    _export_csv(args.export, headers, rows)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = [
+            [s.name, s.kind, s.mix, s.policy, ",".join(s.tags), s.description]
+            for s in iter_scenarios(kind=args.kind, tag=args.tag)
+        ]
+        if not rows:
+            print("no scenarios match the filter", file=sys.stderr)
+            return 1
+        print(format_table(
+            ["name", "kind", "mix", "policy", "tags", "description"], rows
+        ))
+        return 0
+    # action == "run" — same columns as `campaign --grid scenarios`.
+    grid = CAMPAIGN_GRIDS["scenarios"]
+    scenarios = [get_scenario(name) for name in args.names]
+    specs = [scenario.spec(copies=args.copies) for scenario in scenarios]
+    results = Campaign(specs, jobs=args.jobs).run()
+    rows = [grid.row(spec, result) for spec, result in zip(specs, results)]
+    print(f"scenarios: {len(rows)} runs\n")
+    print(format_table(grid.headers, rows))
+    _export_csv(args.export, grid.headers, rows)
     return 0
 
 
@@ -252,8 +308,15 @@ def main(argv: list[str] | None = None) -> int:
         "server": _cmd_server,
         "homogeneous": _cmd_homogeneous,
         "campaign": _cmd_campaign,
+        "scenarios": _cmd_scenarios,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        # Every library failure surfaces as one clean line, never a
+        # traceback: unknown scenarios, bad grid axes, unknown mixes, ...
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.memspot import MemSpot
+from repro.core.kernel import make_memspot
 from repro.core.results import RunResult, TemperatureTrace
 from repro.core.windowmodel import MemoryEnvelope, WindowModel
 from repro.cpu.power import simulated_chip_power_w
@@ -70,6 +70,16 @@ class SimulationConfig:
     #: Use the cache-aware batch refill policy (§6 future-work extension;
     #: see :mod:`repro.workloads.scheduling`) instead of round-robin.
     cache_aware_scheduling: bool = False
+    #: Traffic shape: fraction of each ``duty_period_s`` the cores run.
+    #: Below 1.0 the batch executes in bursts separated by idle windows
+    #: (the scenario engine's "idle-burst" traffic shapes); 1.0 is the
+    #: paper's continuous batch.
+    duty_cycle: float = 1.0
+    duty_period_s: float = 0.1
+    #: Thermal kernel: "batched" (flat-array fast path) or "scalar"
+    #: (per-node reference).  Both produce bit-identical results; the
+    #: scalar path exists as the equivalence oracle.
+    kernel: str = "batched"
 
     def __post_init__(self) -> None:
         if self.dtm_interval_s <= 0:
@@ -80,6 +90,33 @@ class SimulationConfig:
             raise ConfigurationError("DTM overhead must be below the interval")
         if self.copies < 1:
             raise ConfigurationError("need at least one batch copy")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty cycle must be within (0, 1]")
+        if self.duty_period_s <= 0:
+            raise ConfigurationError("duty period must be positive")
+        if self.duty_cycle < 1.0:
+            # Gating is per whole DTM window, so the burst must span at
+            # least one window or the batch can never make progress.
+            if self.duty_windows_on() < 1 or self.duty_windows_per_period() < 2:
+                raise ConfigurationError(
+                    "duty cycle on-time must cover at least one DTM interval "
+                    f"(duty_cycle={self.duty_cycle}, "
+                    f"duty_period_s={self.duty_period_s}, "
+                    f"dtm_interval_s={self.dtm_interval_s})"
+                )
+        if self.kernel not in ("batched", "scalar"):
+            raise ConfigurationError(
+                f"kernel must be 'batched' or 'scalar', got {self.kernel!r}"
+            )
+
+    def duty_windows_per_period(self) -> int:
+        """DTM windows per duty period (the burst gate counts windows,
+        not float time, so the duty cycle is exact and drift-free)."""
+        return max(1, round(self.duty_period_s / self.dtm_interval_s))
+
+    def duty_windows_on(self) -> int:
+        """Running windows at the start of each duty period."""
+        return round(self.duty_cycle * self.duty_windows_per_period())
 
 
 class TwoLevelSimulator:
@@ -123,7 +160,8 @@ class TwoLevelSimulator:
             )
         else:
             scheduler = BatchScheduler(self._mix, cfg.copies, cfg.cores)
-        memspot = MemSpot(
+        memspot = make_memspot(
+            kernel=cfg.kernel,
             cooling=cfg.cooling,
             ambient=cfg.ambient,
             physical_channels=cfg.physical_channels,
@@ -135,6 +173,9 @@ class TwoLevelSimulator:
         dt = cfg.dtm_interval_s
         overhead_factor = 1.0 - cfg.dtm_overhead_s / dt
         top_level = cfg.levels.level_count - 1
+        burst_gated = cfg.duty_cycle < 1.0
+        duty_windows = cfg.duty_windows_per_period()
+        duty_on = cfg.duty_windows_on()
 
         now = 0.0
         rotation = 0
@@ -179,7 +220,13 @@ class TwoLevelSimulator:
 
             occupied = scheduler.occupied_slots()
             active_slots: list[int] = []
-            if decision.memory_on and frequency > 0.0 and decision.active_cores > 0:
+            burst_idle = burst_gated and (total_intervals - 1) % duty_windows >= duty_on
+            if (
+                not burst_idle
+                and decision.memory_on
+                and frequency > 0.0
+                and decision.active_cores > 0
+            ):
                 if decision.active_cores >= len(occupied):
                     active_slots = occupied
                 else:

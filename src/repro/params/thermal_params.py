@@ -166,6 +166,22 @@ class AmbientModelParams:
             tau_ambient_s=self.tau_ambient_s,
         )
 
+    def with_inlet_delta(self, delta_c: float) -> "AmbientModelParams":
+        """A copy with every inlet temperature shifted by ``delta_c``.
+
+        Scenario knob: a hot machine room (positive delta) or an
+        over-provisioned cold aisle (negative delta) shifts the whole
+        Table 3.3 inlet row without touching the interaction model.
+        """
+        return AmbientModelParams(
+            inlet_by_cooling={
+                name: inlet + delta_c
+                for name, inlet in self.inlet_by_cooling.items()
+            },
+            interaction=self.interaction,
+            tau_ambient_s=self.tau_ambient_s,
+        )
+
 
 #: Table 3.3, isolated model row: constant ambient, no CPU interaction.
 ISOLATED_AMBIENT = AmbientModelParams(

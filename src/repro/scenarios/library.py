@@ -1,0 +1,154 @@
+"""The built-in scenario library.
+
+Each entry composes a workload, a DTM policy, a thermal model, platform
+shape, and a traffic shape into one named, registered
+:class:`~repro.scenarios.scenario.Scenario`.  The paper's figures cover
+the default platform under steady batch traffic; these scenarios stress
+the axes the figures hold fixed — ambient excursions, control-parameter
+corners, channel asymmetry, bursty traffic, and server-side what-ifs.
+
+Run one with ``python -m repro scenarios run <name>`` or sweep them with
+``python -m repro campaign --grid scenarios``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.scenario import Scenario, register_scenario
+
+#: Every built-in scenario, in definition order.
+SCENARIO_LIBRARY: tuple[Scenario, ...] = (
+    # -- ambient excursions ------------------------------------------------
+    Scenario(
+        name="hot-ambient",
+        description="machine-room cooling failure: inlet +8 degC under DTM-TS",
+        kind="ch4",
+        mix="W2",
+        policy="ts",
+        inlet_delta_c=8.0,
+        tags=("ambient", "stress"),
+    ),
+    Scenario(
+        name="cold-aisle",
+        description="over-provisioned cold aisle: inlet -8 degC, no limit",
+        kind="ch4",
+        mix="W1",
+        policy="no-limit",
+        cooling="FDHS_1.0",
+        inlet_delta_c=-8.0,
+        tags=("ambient",),
+    ),
+    # -- control-parameter corners -----------------------------------------
+    Scenario(
+        name="throttle-storm",
+        description="deep TS hysteresis (AMB TRP 95) forcing long on/off swings",
+        kind="ch4",
+        mix="W3",
+        policy="ts",
+        cooling="FDHS_1.0",
+        amb_trp_c=95.0,
+        tags=("control", "stress"),
+    ),
+    Scenario(
+        name="fast-control",
+        description="2 ms DTM interval: control overhead dominates (Fig. 4.11 corner)",
+        kind="ch4",
+        mix="W1",
+        policy="acg",
+        dtm_interval_s=0.002,
+        tags=("control",),
+    ),
+    Scenario(
+        name="worst-case-comb",
+        description="combined policy under integrated ambient, interaction 2.0, hot inlet",
+        kind="ch4",
+        mix="W3",
+        policy="comb",
+        ambient="integrated",
+        interaction=2.0,
+        inlet_delta_c=5.0,
+        tags=("control", "stress"),
+    ),
+    # -- platform shape ----------------------------------------------------
+    Scenario(
+        name="asymmetric-channel",
+        description="16 DIMMs down 2 channels: double bypass traffic per AMB",
+        kind="ch4",
+        mix="W1",
+        policy="bw",
+        channels=2,
+        dimms_per_channel=8,
+        tags=("platform",),
+    ),
+    Scenario(
+        name="deep-chain",
+        description="8-DIMM daisy chains on all 4 channels under DTM-TS",
+        kind="ch4",
+        mix="W4",
+        policy="ts",
+        dimms_per_channel=8,
+        tags=("platform",),
+    ),
+    # -- traffic shape -----------------------------------------------------
+    Scenario(
+        name="idle-burst",
+        description="bursty batch: cores run 25% of each 400 ms period",
+        kind="ch4",
+        mix="W1",
+        policy="no-limit",
+        duty_cycle=0.25,
+        duty_period_s=0.4,
+        tags=("traffic",),
+    ),
+    Scenario(
+        name="narrow-pipe",
+        description="memory envelope halved: queueing-dominated latency under DTM-BW",
+        kind="ch4",
+        mix="W2",
+        policy="bw",
+        bandwidth_scale=0.5,
+        tags=("traffic",),
+    ),
+    Scenario(
+        name="integrated-cdvfs",
+        description="CDVFS+PID under the integrated ambient model (Fig. 4.12 cell)",
+        kind="ch4",
+        mix="W1",
+        policy="cdvfs+pid",
+        ambient="integrated",
+        tags=("control",),
+    ),
+    # -- server (Chapter 5) what-ifs ---------------------------------------
+    Scenario(
+        name="server-hot-inlet",
+        description="PE1950 with a 45 degC memory inlet under the combined policy",
+        kind="ch5",
+        mix="W1",
+        policy="comb",
+        platform="PE1950",
+        ambient_override_c=45.0,
+        tags=("server", "ambient"),
+    ),
+    Scenario(
+        name="server-low-tdp",
+        description="SR1500AL derated to an 80 degC AMB TDP under DTM-ACG",
+        kind="ch5",
+        mix="W11",
+        policy="acg",
+        platform="SR1500AL",
+        amb_tdp_c=80.0,
+        tags=("server", "control"),
+    ),
+    Scenario(
+        name="server-coarse-slice",
+        description="PE1950 with 500 ms OS time slices under DTM-BW",
+        kind="ch5",
+        mix="W2",
+        policy="bw",
+        platform="PE1950",
+        time_slice_s=0.5,
+        tags=("server", "traffic"),
+    ),
+)
+
+for _scenario in SCENARIO_LIBRARY:
+    register_scenario(_scenario, replace_existing=True)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.memspot import MemSpot
+from repro.core.kernel import make_memspot
 from repro.core.results import TemperatureTrace
 from repro.cpu.power import measured_chip_power_w
 from repro.dtm.base import DTMPolicy, ThermalReading
@@ -89,6 +89,7 @@ class ServerSimulator:
         window_model: ServerWindowModel | None = None,
         base_frequency_level: int = 0,
         max_sim_s: float = 500_000.0,
+        kernel: str = "batched",
     ) -> None:
         if copies < 1:
             raise ConfigurationError("need at least one batch copy")
@@ -101,6 +102,7 @@ class ServerSimulator:
         self._window = window_model or ServerWindowModel(platform)
         self._base_frequency_level = base_frequency_level
         self._max_sim_s = max_sim_s
+        self._kernel = kernel
 
     @property
     def window_model(self) -> ServerWindowModel:
@@ -115,7 +117,8 @@ class ServerSimulator:
         hotplug = CPUHotplug(platform.total_cores)
         cpufreq = CPUFreq(platform.cpu_power)
         throttle = OpenLoopThrottle()
-        memspot = MemSpot(
+        memspot = make_memspot(
+            kernel=self._kernel,
             cooling=platform.cooling,
             ambient=platform.ambient_params(self._ambient_override_c),
             physical_channels=platform.channels,
@@ -287,7 +290,7 @@ def run_homogeneous(
         card.add_channel("amb")
     if "inlet" not in card.channels:
         card.add_channel("inlet", noisy=False)
-    memspot = MemSpot(
+    memspot = make_memspot(
         cooling=platform.cooling,
         ambient=platform.ambient_params(),
         physical_channels=platform.channels,

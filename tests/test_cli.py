@@ -89,6 +89,15 @@ def test_campaign_parallel_output_is_deterministic(capsys, tmp_path, monkeypatch
     assert parallel_out == serial_out
 
 
+def _one_clean_error_line(err: str) -> bool:
+    """A single-line diagnostic, not a traceback."""
+    return (
+        "Traceback" not in err
+        and err.startswith("error: ")
+        and err.strip().count("\n") == 0
+    )
+
+
 def test_campaign_bad_inputs_fail_cleanly(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     assert main(["campaign", "--mixes", "W1", "--policies", "warp"]) == 2
@@ -101,3 +110,70 @@ def test_campaign_bad_inputs_fail_cleanly(capsys, tmp_path, monkeypatch):
     assert "does not apply" in capsys.readouterr().err
     assert main(["campaign", "--grid", "ch4", "--platforms", "PE1950"]) == 2
     assert "does not apply" in capsys.readouterr().err
+
+
+def test_campaign_unknown_mix_fails_cleanly(capsys, tmp_path, monkeypatch):
+    """A bad grid key deep in the workload layer still prints one line."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["campaign", "--mixes", "W99", "--policies", "ts",
+                 "--copies", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload mix 'W99'" in err
+    assert _one_clean_error_line(err)
+
+
+def test_campaign_scenarios_flag_conflicts(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["campaign", "--grid", "ch4", "--scenarios", "idle-burst"]) == 2
+    err = capsys.readouterr().err
+    assert "--scenarios does not apply to the ch4 grid" in err
+    assert _one_clean_error_line(err)
+    assert main(["campaign", "--grid", "scenarios",
+                 "--coolings", "FDHS_1.0"]) == 2
+    err = capsys.readouterr().err
+    assert "--coolings does not apply to the scenarios grid" in err
+    assert _one_clean_error_line(err)
+
+
+def test_campaign_unknown_scenario_fails_cleanly(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["campaign", "--grid", "scenarios", "--scenarios", "warp"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario 'warp'" in err
+    assert _one_clean_error_line(err)
+
+
+def test_scenarios_list_command(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "hot-ambient" in out
+    assert "server-low-tdp" in out
+    assert main(["scenarios", "list", "--kind", "ch5"]) == 0
+    out = capsys.readouterr().out
+    assert "server-hot-inlet" in out
+    assert "hot-ambient" not in out
+    assert main(["scenarios", "list", "--tag", "nosuchtag"]) == 1
+    assert "no scenarios match" in capsys.readouterr().err
+
+
+def test_scenarios_run_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    export = tmp_path / "scenarios.csv"
+    assert main(["scenarios", "run", "cold-aisle", "--copies", "1",
+                 "--export", str(export)]) == 0
+    out = capsys.readouterr().out
+    assert "scenarios: 1 runs" in out
+    assert "cold-aisle" in out
+    assert export.read_text().startswith("scenario,kind,mix,policy,")
+
+
+def test_scenarios_run_unknown_fails_cleanly(capsys):
+    assert main(["scenarios", "run", "warp"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario 'warp'" in err
+    assert _one_clean_error_line(err)
+
+
+def test_scenarios_action_required():
+    with pytest.raises(SystemExit):
+        main(["scenarios"])

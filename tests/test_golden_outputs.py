@@ -1,0 +1,126 @@
+"""Golden-master regression tests pinning the numeric outputs.
+
+These tests freeze the exact numbers of one Chapter 4 and one Chapter 5
+experiment cell — plus the campaign tables built from them — so that
+refactors for speed (batched kernels, scenario plumbing, cache layers)
+cannot silently drift the physics.  Any numeric deviation beyond 1e-9
+fails the suite.
+
+Every golden run executes against a :class:`NullStore`, so a stale disk
+or memory cache can never mask real drift: the numbers always come from
+the code under test.
+
+Refreshing the goldens (after an *intentional* model change)::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_outputs.py
+
+then commit the rewritten ``tests/goldens/*.json`` files alongside the
+model change that explains them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.campaigns import run_campaign
+from repro.analysis.experiments import (
+    Chapter4Spec,
+    Chapter5Spec,
+    run_result_to_dict,
+    server_result_to_dict,
+)
+from repro.campaign import NullStore, run
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+TOLERANCE = 1e-9
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDENS") == "1"
+
+
+def _ch4_payload() -> dict:
+    result = run(Chapter4Spec(mix="W1", policy="ts", copies=1), store=NullStore())
+    return run_result_to_dict(result)
+
+
+def _ch5_payload() -> dict:
+    result = run(
+        Chapter5Spec(platform="PE1950", mix="W1", policy="bw", copies=1),
+        store=NullStore(),
+    )
+    return server_result_to_dict(result)
+
+
+def _campaign_payload() -> dict:
+    """The formatted campaign tables (the byte-identity check)."""
+    tables = {}
+    for grid, policies, variants in (
+        ("ch4", ["ts"], ["AOHS_1.5"]),
+        ("ch5", ["bw"], ["PE1950"]),
+    ):
+        headers, rows = run_campaign(
+            grid,
+            mixes=["W1"],
+            policies=policies,
+            variants=variants,
+            copies=1,
+            store=NullStore(),
+        )
+        tables[grid] = {"headers": headers, "rows": rows}
+    return tables
+
+
+def _compare(golden, fresh, path: str, mismatches: list[str]) -> None:
+    """Recursively diff two JSON-shaped values within TOLERANCE."""
+    if isinstance(golden, dict) and isinstance(fresh, dict):
+        for key in sorted(set(golden) | set(fresh)):
+            if key not in golden or key not in fresh:
+                mismatches.append(f"{path}.{key}: present on one side only")
+                continue
+            _compare(golden[key], fresh[key], f"{path}.{key}", mismatches)
+    elif isinstance(golden, list) and isinstance(fresh, list):
+        if len(golden) != len(fresh):
+            mismatches.append(f"{path}: length {len(golden)} != {len(fresh)}")
+            return
+        for index, (g, f) in enumerate(zip(golden, fresh)):
+            _compare(g, f, f"{path}[{index}]", mismatches)
+    elif isinstance(golden, float) or isinstance(fresh, float):
+        if abs(float(golden) - float(fresh)) > TOLERANCE:
+            mismatches.append(f"{path}: {golden!r} != {fresh!r} (>{TOLERANCE})")
+    elif golden != fresh:
+        mismatches.append(f"{path}: {golden!r} != {fresh!r}")
+
+
+def _check_golden(name: str, fresh: dict) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden {name} refreshed")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing; generate it with "
+            "REPRO_UPDATE_GOLDENS=1 and commit it"
+        )
+    golden = json.loads(path.read_text())
+    mismatches: list[str] = []
+    _compare(golden, fresh, name, mismatches)
+    if mismatches:
+        pytest.fail(
+            "numeric drift against golden master (refresh intentionally with "
+            "REPRO_UPDATE_GOLDENS=1):\n  " + "\n  ".join(mismatches[:40])
+        )
+
+
+def test_golden_ch4_cell():
+    _check_golden("ch4_W1_ts_copies1", _ch4_payload())
+
+
+def test_golden_ch5_cell():
+    _check_golden("ch5_PE1950_W1_bw_copies1", _ch5_payload())
+
+
+def test_golden_campaign_tables():
+    _check_golden("campaign_tables", _campaign_payload())

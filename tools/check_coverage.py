@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Enforce per-package line-coverage floors from a coverage.py JSON report.
+
+Usage::
+
+    python tools/check_coverage.py coverage.json --min 90 \\
+        src/repro/scenarios src/repro/thermal
+
+Each path prefix is checked *independently* — a well-covered package
+cannot subsidize a poorly covered one, which is what a single
+``--cov-fail-under`` total would allow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import PurePosixPath
+
+
+def package_coverage(report: dict, prefix: str) -> tuple[int, int]:
+    """(covered, total) executable lines under one path prefix."""
+    covered = 0
+    total = 0
+    prefix_path = PurePosixPath(prefix)
+    for filename, data in report.get("files", {}).items():
+        path = PurePosixPath(filename.replace("\\", "/"))
+        if prefix_path not in (path, *path.parents):
+            continue
+        summary = data.get("summary", {})
+        covered += summary.get("covered_lines", 0)
+        total += summary.get("num_statements", 0)
+    return covered, total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="coverage.py JSON report path")
+    parser.add_argument("prefixes", nargs="+", help="package path prefixes")
+    parser.add_argument("--min", type=float, default=90.0, dest="minimum",
+                        help="minimum line coverage percent per prefix")
+    args = parser.parse_args(argv)
+
+    try:
+        report = json.loads(open(args.report).read())
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read coverage report {args.report}: {error}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for prefix in args.prefixes:
+        covered, total = package_coverage(report, prefix)
+        if total == 0:
+            failures.append(f"{prefix}: no measured lines (wrong --cov paths?)")
+            continue
+        percent = 100.0 * covered / total
+        status = "ok" if percent >= args.minimum else "FAIL"
+        print(f"{prefix}: {covered}/{total} lines = {percent:.1f}% [{status}]")
+        if percent < args.minimum:
+            failures.append(
+                f"{prefix}: {percent:.1f}% < required {args.minimum:.1f}%"
+            )
+    if failures:
+        print("coverage gate failed:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
