@@ -21,7 +21,7 @@ import os
 from pathlib import Path
 from typing import Any, Iterable
 
-from repro.analysis.experiments import bench_copies
+from repro.analysis.specs import bench_copies
 from repro.campaign import Campaign
 from repro.errors import ConfigurationError
 

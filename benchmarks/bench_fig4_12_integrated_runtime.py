@@ -8,7 +8,7 @@ processor heat that pre-warms the DIMMs.
 
 from _common import bench_mixes, copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.specs import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
 from repro.campaign import sweep

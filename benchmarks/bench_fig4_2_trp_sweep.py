@@ -7,7 +7,7 @@ ideal; higher TRPs should lose less performance (§4.4.1).
 
 from _common import bench_mixes, copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.specs import Chapter4Spec, run_chapter4
 from repro.analysis.tables import format_table
 from repro.campaign import sweep
 

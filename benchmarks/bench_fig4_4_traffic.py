@@ -6,7 +6,7 @@ contention relief), with PID adding a point or two back (§4.4.2).
 
 from _common import COOLINGS, bench_mixes, copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.specs import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
 from repro.campaign import sweep

@@ -8,7 +8,7 @@ touches 110 (overshoot) which PID eliminates.
 
 from _common import copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.specs import Chapter4Spec, run_chapter4
 from repro.analysis.series import summarize_series
 from repro.analysis.tables import format_series, format_table
 from repro.campaign import sweep

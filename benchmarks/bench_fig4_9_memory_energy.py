@@ -7,7 +7,7 @@ time), CDVFS ~3-4%, BW slightly less than TS; PID trims a little more
 
 from _common import bench_mixes, copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter4Spec, run_chapter4
+from repro.analysis.specs import Chapter4Spec, run_chapter4
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
 from repro.campaign import sweep

@@ -8,7 +8,7 @@ least memory-intensive mix (the W8 anomaly the paper reports).
 
 from _common import bench_mixes, copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.specs import Chapter5Spec, run_chapter5
 from repro.analysis.normalize import geometric_mean
 from repro.analysis.tables import format_table
 from repro.campaign import sweep

@@ -7,7 +7,7 @@ over — BW degrades ~20-25%, ACG recovers ~7-13%, CDVFS ~14-15%.
 
 from _common import copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.specs import Chapter5Spec, run_chapter5
 from repro.analysis.tables import format_table
 from repro.campaign import sweep
 

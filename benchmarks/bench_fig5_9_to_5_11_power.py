@@ -11,7 +11,7 @@
 
 from _common import bench_mixes, copies, emit, prefetch, run_once
 
-from repro.analysis.experiments import Chapter5Spec, run_chapter5
+from repro.analysis.specs import Chapter5Spec, run_chapter5
 from repro.analysis.normalize import arithmetic_mean, geometric_mean
 from repro.analysis.tables import format_table
 from repro.campaign import sweep

@@ -7,10 +7,11 @@
   rendering so benches print figures legibly in a terminal.
 - :mod:`repro.analysis.series` — time-series helpers for the temperature
   trace figures.
-- :mod:`repro.analysis.experiments` — the Chapter 4/5 run specs and
+- :mod:`repro.analysis.specs` — the Chapter 4/5 run specs and
   runners, registered with the :mod:`repro.campaign` engine, which
   caches them in memory and on disk so the 25+ benches don't recompute
-  the same (workload, policy, cooling) runs.
+  the same (workload, policy, cooling) runs.  (The old
+  ``repro.analysis.experiments`` path still works but warns.)
 - :mod:`repro.analysis.campaigns` — named parameter grids for the
   ``python -m repro campaign`` subcommand.
 """
@@ -18,7 +19,7 @@
 from repro.analysis.normalize import geometric_mean, normalize_map
 from repro.analysis.tables import format_csv, format_table, sparkline
 from repro.analysis.series import downsample, summarize_series
-from repro.analysis.experiments import (
+from repro.analysis.specs import (
     Chapter4Spec,
     Chapter5Spec,
     bench_copies,

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.analysis.experiments import (
+from repro.analysis.specs import (
     CHAPTER4_POLICY_CHOICES,
     CHAPTER5_POLICIES,
     Chapter4Spec,
@@ -204,12 +204,50 @@ CAMPAIGN_GRIDS: dict[str, NamedGrid] = {
 }
 
 
+def expand_campaign(
+    grid_name: str,
+    *,
+    mixes: Sequence[str] | None = None,
+    policies: Sequence[str] | None = None,
+    variants: Sequence[str] | None = None,
+    copies: int = 2,
+) -> tuple[NamedGrid, list[Any]]:
+    """Resolve a named grid's axes and expand them into run specs.
+
+    ``None`` axes take the grid's defaults (every policy, the default
+    mix/variant); explicit empty sequences stay empty — on the ch4/ch5
+    grids (and for ``variants`` everywhere) that fails with "zero
+    runs", while the scenarios grid reads an empty mix/policy axis as
+    "keep each scenario's own".  This is the one expansion path shared
+    by :func:`run_campaign`, the CLI, and the :mod:`repro.api` client,
+    so an HTTP campaign and a CLI campaign always name the same cells.
+    """
+    grid = CAMPAIGN_GRIDS.get(grid_name)
+    if grid is None:
+        raise ConfigurationError(
+            f"unknown campaign grid {grid_name!r} (have: {sorted(CAMPAIGN_GRIDS)})"
+        )
+    mixes = list(grid.mixes_default) if mixes is None else list(mixes)
+    policies = grid.default_policies() if policies is None else list(policies)
+    variants = [grid.variant_default] if variants is None else list(variants)
+    unknown = [p for p in policies if p not in grid.policy_choices]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {grid_name} policies {unknown} "
+            f"(choices: {list(grid.policy_choices)})"
+        )
+    specs = grid.expand(mixes, policies, variants, copies)
+    if not specs:
+        raise ConfigurationError("campaign expanded to zero runs")
+    return grid, specs
+
+
 def run_campaign(
     grid_name: str,
     *,
-    mixes: Sequence[str],
-    policies: Sequence[str],
-    variants: Sequence[str],
+    mixes: Sequence[str] | None = None,
+    policies: Sequence[str] | None = None,
+    variants: Sequence[str] | None = None,
     copies: int = 2,
     jobs: int = 1,
     store: ResultStore | None = None,
@@ -221,20 +259,9 @@ def run_campaign(
     ``all``) for ``scenarios``.  Rows come back in deterministic sweep
     order regardless of ``jobs``.
     """
-    grid = CAMPAIGN_GRIDS.get(grid_name)
-    if grid is None:
-        raise ConfigurationError(
-            f"unknown campaign grid {grid_name!r} (have: {sorted(CAMPAIGN_GRIDS)})"
-        )
-    unknown = [p for p in policies if p not in grid.policy_choices]
-    if unknown:
-        raise ConfigurationError(
-            f"unknown {grid_name} policies {unknown} "
-            f"(choices: {list(grid.policy_choices)})"
-        )
-    specs = grid.expand(mixes, policies, variants, copies)
-    if not specs:
-        raise ConfigurationError("campaign expanded to zero runs")
+    grid, specs = expand_campaign(
+        grid_name, mixes=mixes, policies=policies, variants=variants, copies=copies
+    )
     results = Campaign(specs, jobs=jobs, store=store).run()
     rows = [grid.row(spec, result) for spec, result in zip(specs, results)]
     return list(grid.headers), rows

@@ -1,357 +1,26 @@
-"""Chapter 4/5 run specs and runners for the campaign engine.
+"""Deprecated alias of :mod:`repro.analysis.specs`.
 
-Every figure bench needs the same underlying runs (e.g. the no-limit
-baseline of every workload).  This module defines the two spec kinds —
-``ch4`` (two-level simulation) and ``ch5`` (server measurement) — and
-registers their runners with :mod:`repro.campaign`, which provides the
-caching, grid expansion, and parallel execution:
+This module kept the Chapter 4/5 run specs and runners through PR 2;
+they now live in :mod:`repro.analysis.specs`, and the supported
+programmatic entry point is the stable client API in :mod:`repro.api`
+(:class:`~repro.api.ReproClient` plus typed request objects and
+versioned :class:`~repro.api.ResultEnvelope` results).
 
-- a process-wide **memory memo** so one pytest session never repeats a
-  run, and
-- a sharded **on-disk JSON cache** under ``.exp_cache/`` keyed by the
-  spec hash, so tests and benches across sessions reuse results.
-  Temperature traces are persisted alongside the scalars.
-
-``REPRO_BENCH_SCALE`` scales the batch length (copies of each app; the
-paper uses 50, the default here is 2 — shapes are scale-invariant).
-``REPRO_CACHE=0`` disables the disk cache; ``REPRO_CACHE_DIR`` moves it.
+Importing this module keeps old scripts working unchanged but emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, replace
-from typing import ClassVar
+import warnings
 
-from repro.campaign import register_runner, run, spec_key
-from repro.campaign.spec import CACHE_VERSION  # noqa: F401  (compat re-export)
-from repro.core.results import RunResult, TemperatureTrace
-from repro.core.simulator import SimulationConfig, TwoLevelSimulator
-from repro.core.windowmodel import MemoryEnvelope, WindowModel
-from repro.dtm.acg import DTMACG
-from repro.dtm.base import DTMPolicy, NoLimitPolicy
-from repro.dtm.bw import DTMBW
-from repro.dtm.cdvfs import DTMCDVFS
-from repro.dtm.comb import DTMCOMB
-from repro.dtm.pid_policies import PIDPolicy
-from repro.dtm.ts import DTMTS
-from repro.errors import ConfigurationError
-from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
-from repro.params.thermal_params import (
-    COOLING_CONFIGS,
-    INTEGRATED_AMBIENT,
-    ISOLATED_AMBIENT,
-)
-from repro.testbed.performance import ServerWindowModel
-from repro.testbed.platforms import PE1950, SR1500AL, ServerPlatform
-from repro.testbed.runner import ServerRunResult, ServerSimulator
+from repro.analysis.specs import *  # noqa: F401,F403
+from repro.analysis.specs import __all__  # noqa: F401
 
-
-def bench_copies(default: int = 2) -> int:
-    """Batch copies per application, from ``REPRO_BENCH_SCALE``."""
-    raw = os.environ.get("REPRO_BENCH_SCALE", str(default))
-    try:
-        copies = int(raw)
-    except ValueError:
-        raise ConfigurationError(f"REPRO_BENCH_SCALE must be an integer, got {raw!r}")
-    if copies < 1:
-        raise ConfigurationError("REPRO_BENCH_SCALE must be >= 1")
-    return copies
-
-
-# ---------------------------------------------------------------------------
-# Chapter 4 (simulation) experiments
-# ---------------------------------------------------------------------------
-
-#: Paper presentation order of the simulation schemes.
-CHAPTER4_POLICIES = (
-    "no-limit",
-    "ts",
-    "bw",
-    "acg",
-    "cdvfs",
-    "bw+pid",
-    "acg+pid",
-    "cdvfs+pid",
-)
-
-#: Every policy name ``make_chapter4_policy`` accepts (CLI choices).
-CHAPTER4_POLICY_CHOICES = CHAPTER4_POLICIES + ("comb",)
-
-
-@dataclass(frozen=True)
-class Chapter4Spec:
-    """One Chapter 4 simulation run."""
-
-    kind: ClassVar[str] = "ch4"
-    #: Presentation-only fields left out of the cache key: the same
-    #: physical run under different scenario labels shares one entry.
-    KEY_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("scenario",)
-
-    mix: str = "W1"
-    policy: str = "ts"
-    cooling: str = "AOHS_1.5"
-    #: "isolated" or "integrated" (Table 3.3 row).
-    ambient: str = "isolated"
-    copies: int = 2
-    dtm_interval_s: float = 0.010
-    #: CPU-memory interaction override (§4.5.2 sweeps 1.0 / 1.5 / 2.0).
-    interaction: float | None = None
-    #: DTM-TS release point overrides (Fig. 4.2 sweeps).
-    amb_trp_c: float | None = None
-    dram_trp_c: float | None = None
-    record_trace: bool = False
-    #: Name of the scenario that produced this spec (None for ad-hoc runs).
-    scenario: str | None = None
-    #: Machine-room inlet shift, degC (scenario knob; 0 = Table 3.3).
-    inlet_delta_c: float = 0.0
-    #: Platform shape overrides (Table 4.1 uses 4 channels x 4 DIMMs).
-    channels: int = 4
-    dimms_per_channel: int = 4
-    #: Traffic shape: the cores run ``duty_cycle`` of each period.
-    duty_cycle: float = 1.0
-    duty_period_s: float = 0.1
-    #: Scales the memory envelope's peak bandwidth (narrow/wide pipes).
-    bandwidth_scale: float = 1.0
-
-    def key(self) -> str:
-        """Stable hash key of this spec."""
-        return spec_key(self)
-
-
-def make_chapter4_policy(
-    name: str,
-    levels: EmergencyLevels = SIMULATION_LEVELS,
-    amb_trp_c: float | None = None,
-    dram_trp_c: float | None = None,
-) -> DTMPolicy:
-    """Construct a Chapter 4 policy by short name."""
-    if name == "no-limit":
-        return NoLimitPolicy()
-    if name == "ts":
-        return DTMTS(levels, amb_trp_c=amb_trp_c, dram_trp_c=dram_trp_c)
-    if name == "bw":
-        return DTMBW(levels)
-    if name == "acg":
-        return DTMACG(levels)
-    if name == "cdvfs":
-        return DTMCDVFS(levels)
-    if name == "comb":
-        return DTMCOMB(levels, min_active=1)
-    if name.endswith("+pid"):
-        scheme = name.removesuffix("+pid")
-        return PIDPolicy(scheme, levels=levels)
-    raise ConfigurationError(f"unknown Chapter 4 policy {name!r}")
-
-
-#: Shared window models (memoized level-1 evaluations), per process,
-#: keyed by the memory envelope they were built for (None = default).
-_window_models: dict[MemoryEnvelope | None, WindowModel] = {}
-_server_models: dict[str, ServerWindowModel] = {}
-
-
-def _shared_window_model(envelope: MemoryEnvelope | None = None) -> WindowModel:
-    model = _window_models.get(envelope)
-    if model is None:
-        model = WindowModel(envelope=envelope)
-        _window_models[envelope] = model
-    return model
-
-
-def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
-    """Simulate one Chapter 4 spec (no caching — the engine provides it)."""
-    if spec.cooling not in COOLING_CONFIGS:
-        raise ConfigurationError(f"unknown cooling {spec.cooling!r}")
-    ambient = ISOLATED_AMBIENT if spec.ambient == "isolated" else INTEGRATED_AMBIENT
-    if spec.interaction is not None:
-        ambient = ambient.with_interaction(spec.interaction)
-    if spec.inlet_delta_c != 0.0:
-        ambient = ambient.with_inlet_delta(spec.inlet_delta_c)
-    envelope: MemoryEnvelope | None = None
-    if spec.bandwidth_scale != 1.0:
-        if spec.bandwidth_scale <= 0:
-            raise ConfigurationError("bandwidth_scale must be positive")
-        base = MemoryEnvelope()
-        envelope = replace(
-            base,
-            peak_bandwidth_bytes_per_s=(
-                base.peak_bandwidth_bytes_per_s * spec.bandwidth_scale
-            ),
-        )
-    config = SimulationConfig(
-        mix_name=spec.mix,
-        copies=spec.copies,
-        cooling=COOLING_CONFIGS[spec.cooling],
-        ambient=ambient,
-        dtm_interval_s=spec.dtm_interval_s,
-        record_trace=spec.record_trace,
-        physical_channels=spec.channels,
-        dimms_per_channel=spec.dimms_per_channel,
-        duty_cycle=spec.duty_cycle,
-        duty_period_s=spec.duty_period_s,
-        envelope=envelope if envelope is not None else MemoryEnvelope(),
-    )
-    policy = make_chapter4_policy(
-        spec.policy, amb_trp_c=spec.amb_trp_c, dram_trp_c=spec.dram_trp_c
-    )
-    return TwoLevelSimulator(
-        config, policy, window_model=_shared_window_model(envelope)
-    ).run()
-
-
-def run_chapter4(spec: Chapter4Spec) -> RunResult:
-    """Run (or recall) one Chapter 4 experiment through the engine."""
-    return run(spec)
-
-
-# ---------------------------------------------------------------------------
-# Chapter 5 (testbed) experiments
-# ---------------------------------------------------------------------------
-
-#: Paper presentation order of the measured policies.
-CHAPTER5_POLICIES = ("no-limit", "bw", "acg", "cdvfs", "comb")
-
-
-@dataclass(frozen=True)
-class Chapter5Spec:
-    """One Chapter 5 server measurement."""
-
-    kind: ClassVar[str] = "ch5"
-    #: Presentation-only fields left out of the cache key (see ch4).
-    KEY_EXCLUDED_FIELDS: ClassVar[tuple[str, ...]] = ("scenario",)
-
-    platform: str = "PE1950"
-    mix: str = "W1"
-    policy: str = "bw"
-    copies: int = 2
-    time_slice_s: float | None = None
-    ambient_override_c: float | None = None
-    amb_tdp_c: float | None = None
-    base_frequency_level: int = 0
-    #: Name of the scenario that produced this spec (None for ad-hoc runs).
-    scenario: str | None = None
-
-    def key(self) -> str:
-        """Stable hash key of this spec."""
-        return spec_key(self)
-
-
-def _platform_for(spec: Chapter5Spec) -> ServerPlatform:
-    base = {"PE1950": PE1950, "SR1500AL": SR1500AL}.get(spec.platform)
-    if base is None:
-        raise ConfigurationError(f"unknown platform {spec.platform!r}")
-    if spec.amb_tdp_c is not None:
-        return base.with_levels(base.levels.with_amb_tdp(spec.amb_tdp_c))
-    return base
-
-
-def make_chapter5_policy(name: str, platform: ServerPlatform) -> DTMPolicy:
-    """Construct a Chapter 5 policy by short name (min one core/socket)."""
-    if name == "no-limit":
-        return NoLimitPolicy(cores=platform.total_cores)
-    if name == "bw":
-        return DTMBW(platform.levels, cores=platform.total_cores)
-    if name == "acg":
-        return DTMACG(platform.levels, cores=platform.total_cores, min_active=2)
-    if name == "cdvfs":
-        return DTMCDVFS(platform.levels, cores=platform.total_cores, stopped_level=4)
-    if name == "comb":
-        return DTMCOMB(platform.levels, cores=platform.total_cores, min_active=2)
-    raise ConfigurationError(f"unknown Chapter 5 policy {name!r}")
-
-
-def _execute_chapter5(spec: Chapter5Spec) -> ServerRunResult:
-    """Measure one Chapter 5 spec (no caching — the engine provides it)."""
-    platform = _platform_for(spec)
-    model_key = f"{spec.platform}|{spec.amb_tdp_c}"
-    model = _server_models.get(model_key)
-    if model is None:
-        model = ServerWindowModel(platform)
-        _server_models[model_key] = model
-    policy = make_chapter5_policy(spec.policy, platform)
-    simulator = ServerSimulator(
-        platform,
-        policy,
-        spec.mix,
-        copies=spec.copies,
-        time_slice_s=spec.time_slice_s,
-        ambient_override_c=spec.ambient_override_c,
-        window_model=model,
-        base_frequency_level=spec.base_frequency_level,
-    )
-    return simulator.run()
-
-
-def run_chapter5(spec: Chapter5Spec) -> ServerRunResult:
-    """Run (or recall) one Chapter 5 experiment through the engine."""
-    return run(spec)
-
-
-# ---------------------------------------------------------------------------
-# Result codecs (JSON payloads for the ResultStore layers)
-# ---------------------------------------------------------------------------
-
-
-def trace_to_dict(trace: TemperatureTrace) -> dict:
-    """Serialize a temperature trace."""
-    return {
-        "times_s": trace.times_s,
-        "amb_c": trace.amb_c,
-        "dram_c": trace.dram_c,
-        "ambient_c": trace.ambient_c,
-    }
-
-
-def trace_from_dict(raw: dict) -> TemperatureTrace:
-    """Rebuild a temperature trace from its payload."""
-    trace = TemperatureTrace()
-    for t, a, d, amb in zip(
-        raw.get("times_s", []),
-        raw.get("amb_c", []),
-        raw.get("dram_c", []),
-        raw.get("ambient_c", []),
-    ):
-        trace.append(t, a, d, amb)
-    return trace
-
-
-def run_result_to_dict(result: RunResult) -> dict:
-    """Serialize a :class:`RunResult` (trace included)."""
-    payload = {k: v for k, v in result.__dict__.items() if k != "trace"}
-    payload["trace"] = trace_to_dict(result.trace)
-    return payload
-
-
-def run_result_from_dict(raw: dict) -> RunResult:
-    """Rebuild a :class:`RunResult` from its payload."""
-    raw = dict(raw)
-    trace = trace_from_dict(raw.pop("trace", {}))
-    return RunResult(trace=trace, **raw)
-
-
-def server_result_to_dict(result: ServerRunResult) -> dict:
-    """Serialize a :class:`ServerRunResult` (trace included)."""
-    payload = {k: v for k, v in result.__dict__.items() if k != "trace"}
-    payload["trace"] = trace_to_dict(result.trace)
-    return payload
-
-
-def server_result_from_dict(raw: dict) -> ServerRunResult:
-    """Rebuild a :class:`ServerRunResult` from its payload."""
-    raw = dict(raw)
-    trace = trace_from_dict(raw.pop("trace", {}))
-    return ServerRunResult(trace=trace, **raw)
-
-
-register_runner(
-    "ch4",
-    _execute_chapter4,
-    encode=run_result_to_dict,
-    decode=run_result_from_dict,
-)
-register_runner(
-    "ch5",
-    _execute_chapter5,
-    encode=server_result_to_dict,
-    decode=server_result_from_dict,
+warnings.warn(
+    "repro.analysis.experiments is deprecated: use the stable client API "
+    "in repro.api (ReproClient + typed requests), or repro.analysis.specs "
+    "for the raw Chapter 4/5 run specs",
+    DeprecationWarning,
+    stacklevel=2,
 )

@@ -1,0 +1,63 @@
+"""Stable typed client API for the reproduction.
+
+This package is the supported programmatic surface: everything else
+(:mod:`repro.analysis.specs`, :mod:`repro.campaign`, the simulators)
+may shift between PRs, but requests, envelopes, and the client here
+only change with the envelope ``schema_version`` rules.
+
+Three-line quickstart::
+
+    from repro.api import ReproClient, SimulateRequest
+
+    client = ReproClient()
+    envelope = client.simulate(SimulateRequest(mix="W1", policy="acg"))
+
+The same surface is exposed over HTTP by ``python -m repro serve``
+(see :mod:`repro.api.service`) and echoed by every CLI ``--json`` flag.
+"""
+
+from repro.api.client import ReproClient, metrics_from_result
+from repro.api.envelope import (
+    SCHEMA_VERSION,
+    Provenance,
+    ResultEnvelope,
+    check_schema_compatible,
+    dumps_canonical,
+    results_document,
+    scenarios_document,
+    schema_major,
+)
+from repro.api.requests import (
+    REQUEST_TYPES,
+    CampaignRequest,
+    CompareRequest,
+    ScenarioRequest,
+    ServerRequest,
+    SimulateRequest,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.api.service import ReproService, serve
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CampaignRequest",
+    "CompareRequest",
+    "Provenance",
+    "REQUEST_TYPES",
+    "ReproClient",
+    "ReproService",
+    "ResultEnvelope",
+    "ScenarioRequest",
+    "ServerRequest",
+    "SimulateRequest",
+    "check_schema_compatible",
+    "dumps_canonical",
+    "metrics_from_result",
+    "request_from_dict",
+    "request_to_dict",
+    "results_document",
+    "scenarios_document",
+    "schema_major",
+    "serve",
+]

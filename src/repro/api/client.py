@@ -1,0 +1,184 @@
+"""The :class:`ReproClient` façade — the stable programmatic surface.
+
+A client wraps one :class:`~repro.campaign.ResultStore` (the default
+shared memory+disk stack unless told otherwise) and turns typed request
+objects into versioned :class:`~repro.api.envelope.ResultEnvelope`
+records.  Every run flows through the scenario and campaign engines, so
+client calls, CLI invocations, and HTTP requests all share one cache:
+
+    from repro.api import ReproClient, SimulateRequest
+
+    client = ReproClient()
+    envelope = client.simulate(SimulateRequest(mix="W1", policy="acg"))
+    print(envelope.metrics["peak_amb_c"], envelope.provenance.cache)
+
+``run_campaign``/``run_scenarios`` are iterators: they yield each
+cell's envelope as soon as it (and every earlier cell) completes, so a
+consumer can stream a large grid without holding it in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Iterator
+
+from repro.api.envelope import Provenance, ResultEnvelope
+from repro.api.requests import (
+    CampaignRequest,
+    CompareRequest,
+    ScenarioRequest,
+    ServerRequest,
+    SimulateRequest,
+    request_to_dict,
+)
+from repro.campaign import Campaign, ResultStore, RunSpec, default_store, run_cached
+from repro.scenarios import iter_scenarios
+
+
+def metrics_from_result(result: Any) -> dict:
+    """A result object's scalar metrics (trace excluded), JSON-ready.
+
+    Includes the derived power averages so envelope consumers never
+    need the result classes themselves.
+    """
+    metrics = {
+        key: value for key, value in result.__dict__.items() if key != "trace"
+    }
+    metrics["average_cpu_power_w"] = result.average_cpu_power_w
+    if hasattr(result, "average_memory_power_w"):
+        metrics["average_memory_power_w"] = result.average_memory_power_w
+    return metrics
+
+
+def _cell_echo(spec: RunSpec) -> dict:
+    """The request echo for one campaign/scenario cell.
+
+    Cells echo the fully resolved run spec under type ``"cell"``
+    (library scenarios carry knobs no top-level request can express),
+    so unlike simulate/server/compare echoes they are *descriptive*,
+    not replayable through ``request_from_dict``.
+    """
+    return {"type": "cell", "kind": spec.kind, **asdict(spec)}
+
+
+class ReproClient:
+    """Typed façade over the scenario + campaign engines."""
+
+    def __init__(self, store: ResultStore | None = None) -> None:
+        #: None is a meaningful sentinel ("the default stack"), kept as
+        #: such all the way into the campaign engine: pool workers then
+        #: rebuild their own default store instead of receiving a
+        #: pickled copy of the process-wide memo.
+        self._store = store
+
+    @property
+    def store(self) -> ResultStore:
+        """The result store backing this client's runs."""
+        return default_store() if self._store is None else self._store
+
+    # -- single-cell runs --------------------------------------------------
+
+    def simulate(self, request: SimulateRequest | None = None, **axes: Any) -> ResultEnvelope:
+        """Run one Chapter 4 simulation cell."""
+        request = SimulateRequest(**axes) if request is None else request
+        return self._run_cell(request.spec(), request_to_dict(request))
+
+    def server(self, request: ServerRequest | None = None, **axes: Any) -> ResultEnvelope:
+        """Run one Chapter 5 server measurement cell."""
+        request = ServerRequest(**axes) if request is None else request
+        return self._run_cell(request.spec(), request_to_dict(request))
+
+    # -- multi-cell runs ---------------------------------------------------
+
+    def compare(self, request: CompareRequest | None = None, **axes: Any) -> list[ResultEnvelope]:
+        """Every Chapter 4 scheme on one mix; baseline envelope first.
+
+        Each envelope echoes the equivalent per-policy simulate request,
+        so a compare is exactly N cache-shared simulate calls.
+        """
+        request = CompareRequest(**axes) if request is None else request
+        return [
+            self._run_cell(cell.spec(), request_to_dict(cell))
+            for cell in request.cell_requests()
+        ]
+
+    def run_campaign(self, request: CampaignRequest) -> Iterator[ResultEnvelope]:
+        """Stream a named grid's per-cell envelopes as they complete.
+
+        Cells arrive in deterministic sweep order; with ``jobs > 1``
+        they are computed by a process pool and yielded as the ordered
+        prefix completes.
+        """
+        _, specs = request.cells()
+        return self._iter_cells(specs, request.jobs)
+
+    def campaign_table(self, request: CampaignRequest) -> tuple[list[str], list[list[Any]]]:
+        """A named grid's (headers, rows) table — the CLI's view."""
+        return self._table(request)
+
+    def run_scenarios(self, request: ScenarioRequest) -> Iterator[ResultEnvelope]:
+        """Stream registered scenarios' envelopes as they complete."""
+        _, specs = request.cells()
+        return self._iter_cells(specs, request.jobs)
+
+    def scenarios_table(self, request: ScenarioRequest) -> tuple[list[str], list[list[Any]]]:
+        """Scenario runs as a (headers, rows) table — the CLI's view."""
+        return self._table(request)
+
+    # -- scenario library --------------------------------------------------
+
+    def list_scenarios(self, kind: str | None = None, tag: str | None = None) -> list[dict]:
+        """Descriptors of the registered scenario library."""
+        return [
+            {
+                "name": scenario.name,
+                "kind": scenario.kind,
+                "mix": scenario.mix,
+                "policy": scenario.policy,
+                "tags": list(scenario.tags),
+                "description": scenario.description,
+            }
+            for scenario in iter_scenarios(kind=kind, tag=tag)
+        ]
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_cell(self, spec: RunSpec, echo: dict) -> ResultEnvelope:
+        result, hit, seconds = run_cached(spec, store=self._store)
+        return self._envelope(spec, result, hit, seconds, echo)
+
+    def _table(
+        self, request: CampaignRequest | ScenarioRequest
+    ) -> tuple[list[str], list[list[Any]]]:
+        grid, specs = request.cells()
+        campaign = Campaign(specs, jobs=request.jobs, store=self._store)
+        rows = [
+            grid.row(spec, result)
+            for spec, result, _, _ in campaign.iter_run()
+        ]
+        return list(grid.headers), rows
+
+    def _iter_cells(self, specs: list[RunSpec], jobs: int) -> Iterator[ResultEnvelope]:
+        campaign = Campaign(specs, jobs=jobs, store=self._store)
+        for spec, result, hit, seconds in campaign.iter_run():
+            yield self._envelope(spec, result, hit, seconds, _cell_echo(spec))
+
+    def _envelope(
+        self,
+        spec: RunSpec,
+        result: Any,
+        hit: bool,
+        elapsed: float,
+        echo: dict,
+    ) -> ResultEnvelope:
+        return ResultEnvelope(
+            kind=spec.kind,
+            scenario=getattr(spec, "scenario", None),
+            request=echo,
+            metrics=metrics_from_result(result),
+            provenance=Provenance(
+                cache="hit" if hit else "miss",
+                cache_key=spec.key(),
+                compute_seconds=round(elapsed, 6),
+            ),
+        )

@@ -1,0 +1,291 @@
+"""Typed request objects — the stable input vocabulary of the API.
+
+Each request is a frozen, validated dataclass that knows how to lower
+itself to campaign-engine run specs (via the scenario engine, so API
+runs share cache entries with CLI and bench runs).  The CLI subcommands,
+the :class:`~repro.api.client.ReproClient` methods, and the HTTP routes
+of ``python -m repro serve`` all construct these same objects, which is
+what keeps the three surfaces behaviorally identical.
+
+``request_to_dict``/``request_from_dict`` round-trip requests through
+plain JSON-shaped dicts keyed by a ``"type"`` tag — the form the HTTP
+service accepts and the form echoed inside every
+:class:`~repro.api.envelope.ResultEnvelope`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Mapping
+
+from repro.analysis.campaigns import CAMPAIGN_GRIDS, NamedGrid, expand_campaign
+from repro.analysis.specs import (
+    CHAPTER4_POLICIES,
+    CHAPTER4_POLICY_CHOICES,
+    CHAPTER5_POLICIES,
+)
+from repro.campaign import RunSpec
+from repro.errors import ConfigurationError
+from repro.params.thermal_params import COOLING_CONFIGS
+from repro.scenarios import grid_scenario
+from repro.testbed.platforms import PLATFORMS
+
+
+def _check_count(name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1")
+
+
+def _name_tuple(axis: str, value: Any) -> tuple[str, ...]:
+    """Normalize a list axis to a tuple of strings.
+
+    A bare string is rejected rather than exploded into characters
+    (``tuple("W1")`` would become ``("W", "1")`` and produce baffling
+    "unknown mix 'W'" errors downstream).
+    """
+    if not isinstance(value, str):
+        try:
+            items = tuple(value)
+        except TypeError:
+            items = None
+        if items is not None and all(isinstance(item, str) for item in items):
+            return items
+    raise ConfigurationError(
+        f"{axis} must be a list of strings, got {value!r}"
+    )
+
+
+def _check_copies(copies: int) -> None:
+    _check_count("copies", copies)
+
+
+def _check_jobs(jobs: int) -> None:
+    _check_count("jobs", jobs)
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """One Chapter 4 two-level simulation cell."""
+
+    TYPE: ClassVar[str] = "simulate"
+
+    mix: str = "W1"
+    policy: str = "acg"
+    cooling: str = "AOHS_1.5"
+    ambient: str = "isolated"
+    copies: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in CHAPTER4_POLICY_CHOICES:
+            raise ConfigurationError(
+                f"unknown ch4 policy {self.policy!r} "
+                f"(choices: {list(CHAPTER4_POLICY_CHOICES)})"
+            )
+        if self.cooling not in COOLING_CONFIGS:
+            raise ConfigurationError(
+                f"unknown cooling {self.cooling!r} "
+                f"(choices: {sorted(COOLING_CONFIGS)})"
+            )
+        if self.ambient not in ("isolated", "integrated"):
+            raise ConfigurationError(
+                "ambient must be 'isolated' or 'integrated', "
+                f"got {self.ambient!r}"
+            )
+        _check_copies(self.copies)
+
+    def spec(self) -> RunSpec:
+        """Lower to the campaign engine via the scenario engine."""
+        scenario = grid_scenario(
+            "ch4", self.mix, self.policy,
+            cooling=self.cooling, ambient=self.ambient,
+        )
+        return scenario.spec(copies=self.copies)
+
+
+@dataclass(frozen=True)
+class ServerRequest:
+    """One Chapter 5 server measurement cell."""
+
+    TYPE: ClassVar[str] = "server"
+
+    platform: str = "PE1950"
+    mix: str = "W1"
+    policy: str = "acg"
+    copies: int = 2
+
+    def __post_init__(self) -> None:
+        if self.platform not in PLATFORMS:
+            raise ConfigurationError(
+                f"unknown platform {self.platform!r} "
+                f"(choices: {sorted(PLATFORMS)})"
+            )
+        if self.policy not in CHAPTER5_POLICIES:
+            raise ConfigurationError(
+                f"unknown ch5 policy {self.policy!r} "
+                f"(choices: {list(CHAPTER5_POLICIES)})"
+            )
+        _check_copies(self.copies)
+
+    def spec(self) -> RunSpec:
+        """Lower to the campaign engine via the scenario engine."""
+        scenario = grid_scenario(
+            "ch5", self.mix, self.policy, platform=self.platform
+        )
+        return scenario.spec(copies=self.copies)
+
+
+@dataclass(frozen=True)
+class CompareRequest:
+    """Every Chapter 4 scheme on one mix (the Fig. 4.3 view)."""
+
+    TYPE: ClassVar[str] = "compare"
+
+    mix: str = "W1"
+    cooling: str = "AOHS_1.5"
+    copies: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cooling not in COOLING_CONFIGS:
+            raise ConfigurationError(
+                f"unknown cooling {self.cooling!r} "
+                f"(choices: {sorted(COOLING_CONFIGS)})"
+            )
+        _check_copies(self.copies)
+
+    def cell_requests(self) -> list[SimulateRequest]:
+        """The per-policy simulate cells, no-limit baseline first."""
+        return [
+            SimulateRequest(
+                mix=self.mix, policy=policy,
+                cooling=self.cooling, copies=self.copies,
+            )
+            for policy in CHAPTER4_POLICIES
+        ]
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """A named (mix x policy x variant) grid through the campaign engine.
+
+    ``None`` axes take the grid's defaults; ``variants`` is the grid's
+    third axis (coolings for ``ch4``, platforms for ``ch5``, scenario
+    names or ``all`` for ``scenarios``).
+    """
+
+    TYPE: ClassVar[str] = "campaign"
+
+    grid: str = "ch4"
+    mixes: tuple[str, ...] | None = None
+    policies: tuple[str, ...] | None = None
+    variants: tuple[str, ...] | None = None
+    copies: int = 2
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.grid not in CAMPAIGN_GRIDS:
+            raise ConfigurationError(
+                f"unknown campaign grid {self.grid!r} "
+                f"(have: {sorted(CAMPAIGN_GRIDS)})"
+            )
+        for axis in ("mixes", "policies", "variants"):
+            value = getattr(self, axis)
+            if value is not None:
+                object.__setattr__(self, axis, _name_tuple(axis, value))
+        _check_copies(self.copies)
+        _check_jobs(self.jobs)
+
+    def cells(self) -> tuple[NamedGrid, list[RunSpec]]:
+        """Resolve defaults and expand into (grid, run specs)."""
+        return expand_campaign(
+            self.grid,
+            mixes=self.mixes,
+            policies=self.policies,
+            variants=self.variants,
+            copies=self.copies,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """Run registered library scenarios by name (``all`` expands)."""
+
+    TYPE: ClassVar[str] = "scenarios"
+
+    names: tuple[str, ...] = ()
+    copies: int = 2
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", _name_tuple("names", self.names))
+        if not self.names:
+            raise ConfigurationError("scenario request needs at least one name")
+        _check_copies(self.copies)
+        _check_jobs(self.jobs)
+
+    def cells(self) -> tuple[NamedGrid, list[RunSpec]]:
+        """Expand names (resolving ``all``) into (grid, run specs).
+
+        Goes through the shared :func:`expand_campaign` path — the
+        names are the scenarios grid's variant axis — so CLI, HTTP,
+        and client scenario runs always name the same cells.
+        """
+        return expand_campaign(
+            "scenarios", variants=self.names, copies=self.copies
+        )
+
+
+#: Every request class, keyed by its wire ``type`` tag.
+REQUEST_TYPES: dict[str, type] = {
+    cls.TYPE: cls
+    for cls in (
+        SimulateRequest,
+        ServerRequest,
+        CompareRequest,
+        CampaignRequest,
+        ScenarioRequest,
+    )
+}
+
+
+def request_to_dict(request: Any) -> dict:
+    """Serialize a request to its JSON-shaped dict (with ``type`` tag)."""
+    if type(request) not in REQUEST_TYPES.values():
+        raise ConfigurationError(
+            f"not an API request object: {type(request).__name__}"
+        )
+    payload: dict[str, Any] = {"type": request.TYPE}
+    for spec_field in fields(request):
+        value = getattr(request, spec_field.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[spec_field.name] = value
+    return payload
+
+
+def request_from_dict(raw: Mapping[str, Any]) -> Any:
+    """Build a typed request from its dict form (inverse of to_dict)."""
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"request must be a JSON object, got {type(raw).__name__}"
+        )
+    type_tag = raw.get("type")
+    cls = REQUEST_TYPES.get(type_tag)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown request type {type_tag!r} "
+            f"(choices: {sorted(REQUEST_TYPES)})"
+        )
+    known = {spec_field.name for spec_field in fields(cls)}
+    data = {key: value for key, value in raw.items() if key != "type"}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {type_tag} request fields {sorted(unknown)} "
+            f"(accepted: {sorted(known)})"
+        )
+    for key, value in data.items():
+        if isinstance(value, list):
+            data[key] = tuple(value)
+    return cls(**data)

@@ -1,0 +1,255 @@
+"""``python -m repro serve`` — a stdlib HTTP JSON service over the API.
+
+The service is a thin transport: every route builds the same typed
+request object the CLI and :class:`~repro.api.client.ReproClient` use,
+runs it through one shared client (and therefore one shared
+ResultStore), and responds with the canonical envelope JSON — so a
+``curl`` and a ``--json`` CLI call for the same warm request return
+byte-identical bodies.
+
+Routes (v1):
+
+- ``GET  /v1/scenarios``            — scenario-library listing
+  (``?kind=ch4|ch5`` and ``?tag=...`` filter).
+- ``GET|POST /v1/simulate``         — one Chapter 4 cell.
+- ``GET|POST /v1/server``           — one Chapter 5 cell.
+- ``GET|POST /v1/compare``          — every ch4 scheme on one mix.
+- ``GET|POST /v1/campaign``         — a named grid.
+- ``GET|POST /v1/scenarios/run``    — registered scenarios by name.
+
+GET passes axes as query parameters (comma-separated lists, e.g.
+``?grid=ch4&mixes=W1,W2&policies=ts,acg``); POST passes a JSON object
+(the ``type`` tag is implied by the route).  Library errors return
+``400 {"schema_version": ..., "error": ...}``; unknown routes 404.
+
+The server is threaded, so concurrent clients share the process-wide
+memory memo and the on-disk cache: any cell computed once is served
+from cache to every later request.  (There is no single-flight dedup —
+identical *simultaneous* cold requests may each compute the cell.)
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qsl, urlparse
+
+from repro.api.client import ReproClient
+from repro.api.envelope import (
+    SCHEMA_VERSION,
+    dumps_canonical,
+    results_document,
+    scenarios_document,
+)
+from repro.api.requests import request_from_dict
+from repro.errors import ConfigurationError, ReproError
+
+#: Query parameters parsed as integers.
+_INT_FIELDS = frozenset({"copies", "jobs"})
+#: Query parameters parsed as comma-separated lists.
+_LIST_FIELDS = frozenset({"mixes", "policies", "variants", "names"})
+#: Route path -> request ``type`` tag.
+_RUN_ROUTES = {
+    "/v1/simulate": "simulate",
+    "/v1/server": "server",
+    "/v1/compare": "compare",
+    "/v1/campaign": "campaign",
+    "/v1/scenarios/run": "scenarios",
+}
+
+
+def _params_from_query(query: str) -> dict:
+    """Decode query parameters into request-field values."""
+    params: dict = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key in _INT_FIELDS:
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"query parameter {key!r} must be an integer, "
+                    f"got {value!r}"
+                )
+        elif key in _LIST_FIELDS:
+            params[key] = [
+                item.strip() for item in value.split(",") if item.strip()
+            ]
+        else:
+            params[key] = value
+    return params
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the shared :class:`ReproClient`."""
+
+    server: "ReproService"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, document: dict | str) -> None:
+        text = document if isinstance(document, str) else dumps_canonical(document)
+        body = (text + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._respond(
+            status, {"schema_version": SCHEMA_VERSION, "error": message}
+        )
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except ValueError as error:
+            raise ConfigurationError(f"request body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return body
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        try:
+            if url.path == "/v1/scenarios":
+                params = _params_from_query(url.query)
+                self._list_scenarios(params)
+            elif url.path in _RUN_ROUTES:
+                params = _params_from_query(url.query)
+                self._run(_RUN_ROUTES[url.path], params)
+            else:
+                self._error(404, f"unknown route {url.path!r}")
+        except ReproError as error:
+            self._error(400, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        try:
+            if url.path in _RUN_ROUTES:
+                self._run(_RUN_ROUTES[url.path], self._read_json_body())
+            elif url.path == "/v1/scenarios":
+                self._error(405, "use GET for /v1/scenarios")
+            else:
+                self._error(404, f"unknown route {url.path!r}")
+        except ReproError as error:
+            self._error(400, str(error))
+
+    # -- handlers ----------------------------------------------------------
+
+    def _list_scenarios(self, params: dict) -> None:
+        unknown = set(params) - {"kind", "tag"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario-listing parameters {sorted(unknown)}"
+            )
+        kind = params.get("kind")
+        if kind is not None and kind not in ("ch4", "ch5"):
+            raise ConfigurationError(
+                f"kind must be 'ch4' or 'ch5', got {kind!r}"
+            )
+        descriptors = self.server.client.list_scenarios(
+            kind=kind, tag=params.get("tag")
+        )
+        self._respond(200, scenarios_document(descriptors))
+
+    def _run(self, type_tag: str, params: dict) -> None:
+        params.pop("type", None)
+        request = request_from_dict({"type": type_tag, **params})
+        if getattr(request, "jobs", 1) != 1:
+            # Forking a worker pool inside a handler thread of a
+            # multithreaded server risks child deadlocks; HTTP callers
+            # get parallelism by issuing concurrent requests against
+            # the shared cache instead.
+            raise ConfigurationError(
+                "jobs is not supported over HTTP; issue concurrent "
+                "requests instead (the cache is shared)"
+            )
+        client = self.server.client
+        if type_tag == "simulate":
+            self._respond(200, client.simulate(request).to_json())
+        elif type_tag == "server":
+            self._respond(200, client.server(request).to_json())
+        elif type_tag == "compare":
+            self._respond(200, results_document(client.compare(request)))
+        elif type_tag == "campaign":
+            self._respond(
+                200, results_document(list(client.run_campaign(request)))
+            )
+        else:  # scenarios
+            self._respond(
+                200, results_document(list(client.run_scenarios(request)))
+            )
+
+
+class ReproService(ThreadingHTTPServer):
+    """Threaded HTTP server exposing the client API.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`port` (or pass ``port_file`` to :func:`serve`).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        client: ReproClient | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.client = client if client is not None else ReproClient()
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` requests)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running service."""
+        return f"http://{self.server_address[0]}:{self.port}"
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    client: ReproClient | None = None,
+    port_file: str | None = None,
+    verbose: bool = False,
+) -> int:
+    """Run the service until interrupted (the ``serve`` subcommand).
+
+    ``port_file`` writes the bound port to a file once listening —
+    the hook CI and tests use with ``--port 0``.
+    """
+    service = ReproService(host, port, client=client, verbose=verbose)
+    try:
+        if port_file:
+            Path(port_file).write_text(f"{service.port}\n")
+        print(
+            f"serving repro API (schema {SCHEMA_VERSION}) on {service.url}",
+            flush=True,
+        )
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.server_close()
+    return 0

@@ -6,12 +6,12 @@ write-through caching; ``sweep()`` expands declarative parameter grids;
 the ``ResultStore`` hierarchy makes the cache pluggable (in-memory
 memo, sharded atomic on-disk JSON, null).
 
-The chapter-specific runners live in :mod:`repro.analysis.experiments`;
+The chapter-specific runners live in :mod:`repro.analysis.specs`;
 this package knows nothing about thermal simulation — only how to
 execute, cache, and order runs.
 """
 
-from repro.campaign.engine import Campaign, run, sweep
+from repro.campaign.engine import Campaign, run, run_cached, sweep
 from repro.campaign.spec import (
     CACHE_VERSION,
     Runner,
@@ -36,6 +36,7 @@ from repro.campaign.stores import (
 __all__ = [
     "Campaign",
     "run",
+    "run_cached",
     "sweep",
     "CACHE_VERSION",
     "Runner",

@@ -17,8 +17,9 @@ can only ever name one result.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any, Iterable, Mapping, Sequence
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.campaign.spec import RunSpec, runner_for
 from repro.campaign.stores import GLOBAL_MEMORY, ResultStore, default_store
@@ -47,16 +48,27 @@ def _decode_cached(kind: str, key: str, payload: dict) -> Any:
     return result
 
 
-def _payload_and_result(spec: RunSpec, store: ResultStore) -> tuple[dict, Any]:
-    """Run ``spec`` unless cached; return its (payload, decoded result)."""
+def _payload_and_result(
+    spec: RunSpec, store: ResultStore
+) -> tuple[dict, Any, bool, float]:
+    """Run ``spec`` unless cached.
+
+    Returns ``(payload, result, cache_hit, compute_seconds)`` where
+    ``compute_seconds`` is the wall time of the runner's ``execute``
+    call alone (0.0 on a hit) — measured here, at the source, so pool
+    workers report their own per-cell cost instead of the consumer
+    guessing from yield-to-yield gaps.
+    """
     runner = runner_for(spec.kind)
     key = spec.key()
     payload = store.get(key)
     if payload is not None:
         result = _decode_cached(spec.kind, key, payload)
         if result is not None:
-            return payload, result
+            return payload, result, True, 0.0
+    started = time.perf_counter()
     fresh = runner.execute(spec)
+    compute_seconds = time.perf_counter() - started
     payload = runner.encode(fresh)
     store.put(key, payload)
     result = _decode(spec.kind, payload)
@@ -69,7 +81,7 @@ def _payload_and_result(spec: RunSpec, store: ResultStore) -> tuple[dict, Any]:
             f"runner codec for kind {spec.kind!r} cannot round-trip its result"
         )
     _DECODE_MEMO[key] = result
-    return payload, result
+    return payload, result, False, compute_seconds
 
 
 def run(spec: RunSpec, store: ResultStore | None = None) -> Any:
@@ -78,8 +90,23 @@ def run(spec: RunSpec, store: ResultStore | None = None) -> Any:
     A cached payload short-circuits execution; a fresh run is encoded
     and written through the store for the next caller.
     """
+    return run_cached(spec, store)[0]
+
+
+def run_cached(
+    spec: RunSpec, store: ResultStore | None = None
+) -> tuple[Any, bool, float]:
+    """Like :func:`run`, also reporting cache provenance.
+
+    Returns ``(result, hit, compute_seconds)``: ``hit`` is True when
+    the result was decoded from an existing store payload instead of
+    being executed, and ``compute_seconds`` is the runner's execute
+    wall time (0.0 on a hit) — the provenance the :mod:`repro.api`
+    envelopes record, measured identically to :meth:`Campaign.iter_run`.
+    """
     store = default_store() if store is None else store
-    return _payload_and_result(spec, store)[1]
+    _, result, hit, compute_seconds = _payload_and_result(spec, store)
+    return result, hit, compute_seconds
 
 
 def sweep(
@@ -108,8 +135,8 @@ def sweep(
 
 def _worker_execute(
     spec: RunSpec, store: ResultStore | None
-) -> tuple[str, dict]:
-    """Pool-worker entry: run one spec and return its payload.
+) -> tuple[str, dict, bool, float]:
+    """Pool-worker entry: run one spec, return (key, payload, hit, seconds).
 
     With no explicit store the worker uses its own default stack, so
     results cached by earlier campaigns (or sibling workers) hit the
@@ -117,7 +144,8 @@ def _worker_execute(
     its disk layers are shared but memory layers are private.
     """
     store = default_store() if store is None else store
-    return spec.key(), _payload_and_result(spec, store)[0]
+    payload, _, hit, compute_seconds = _payload_and_result(spec, store)
+    return spec.key(), payload, hit, compute_seconds
 
 
 class Campaign:
@@ -152,37 +180,71 @@ class Campaign:
 
     def run(self) -> list[Any]:
         """Execute every spec and return results in spec order."""
+        return [result for _, result, _, _ in self.iter_run()]
+
+    def iter_run(self) -> Iterator[tuple[RunSpec, Any, bool, float]]:
+        """Stream ``(spec, result, cache_hit, compute_seconds)`` in spec order.
+
+        Cells are yielded as soon as they (and every earlier spec)
+        complete, so a consumer can render or transmit per-cell results
+        while later cells are still running — this backs the streaming
+        ``ReproClient.run_campaign`` iterator.  Order stays the spec
+        order, so collecting the iterator reproduces :meth:`run`
+        byte-for-byte no matter how many workers ran it.
+
+        ``compute_seconds`` is the cell's own execute wall time as
+        measured where it ran (0.0 on a cache hit), so parallel cells
+        report true per-cell cost.  A duplicate spec is a hit on its
+        repeat occurrences: the first one carries the compute.
+        Abandoning the iterator early cancels not-yet-started cells.
+        """
         unique: dict[str, RunSpec] = {}
         for spec in self.specs:
             unique.setdefault(spec.key(), spec)
-        payloads: dict[str, dict] = {}
+        seen: dict[str, dict] = {}
         if self.jobs == 1 or len(unique) <= 1:
-            for key, spec in unique.items():
-                payloads[key] = _payload_and_result(spec, self.store)[0]
-        else:
-            # Workers under the default stack already persisted to the
-            # shared disk layer; only the in-process memo needs the
-            # payload.  An explicit store gets a full write-through.
-            backfill = (
-                GLOBAL_MEMORY if self._explicit_store is None else self.store
-            )
-            workers = min(self.jobs, len(unique))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_worker_execute, spec, self._explicit_store)
-                    for spec in unique.values()
-                ]
-                for future in as_completed(futures):
-                    key, payload = future.result()
-                    payloads[key] = payload
-                    backfill.put(key, payload)
-        results = []
-        for spec in self.specs:
-            result = _decode_cached(spec.kind, spec.key(), payloads[spec.key()])
-            if result is None:
-                raise ConfigurationError(
-                    f"runner codec for kind {spec.kind!r} cannot round-trip "
-                    f"its result"
+            for spec in self.specs:
+                key = spec.key()
+                if key in seen:
+                    yield spec, self._decoded(spec, seen[key]), True, 0.0
+                    continue
+                payload, _, hit, seconds = _payload_and_result(
+                    unique[key], self.store
                 )
-            results.append(result)
-        return results
+                seen[key] = payload
+                yield spec, self._decoded(spec, payload), hit, seconds
+            return
+        # Workers under the default stack already persisted to the
+        # shared disk layer; only the in-process memo needs the
+        # payload.  An explicit store gets a full write-through.
+        backfill = GLOBAL_MEMORY if self._explicit_store is None else self.store
+        workers = min(self.jobs, len(unique))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                key: pool.submit(_worker_execute, spec, self._explicit_store)
+                for key, spec in unique.items()
+            }
+            for spec in self.specs:
+                key = spec.key()
+                if key in seen:
+                    yield spec, self._decoded(spec, seen[key]), True, 0.0
+                    continue
+                _, payload, hit, seconds = futures[key].result()
+                seen[key] = payload
+                backfill.put(key, payload)
+                yield spec, self._decoded(spec, payload), hit, seconds
+        finally:
+            # An abandoned iterator (consumer breaks mid-stream) must
+            # not block on the rest of the grid: drop queued cells and
+            # return without waiting for in-flight ones.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _decoded(self, spec: RunSpec, payload: dict) -> Any:
+        result = _decode_cached(spec.kind, spec.key(), payload)
+        if result is None:
+            raise ConfigurationError(
+                f"runner codec for kind {spec.kind!r} cannot round-trip "
+                f"its result"
+            )
+        return result

@@ -1,5 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
+The CLI is a thin shell over the stable client API (:mod:`repro.api`):
+every subcommand lowers its flags to a typed request object, executes
+it through one :class:`~repro.api.ReproClient`, and renders either the
+human table (default) or the versioned JSON envelope (``--json``).
+Because the HTTP service (``serve``) drives the same request objects
+through the same client, a warm CLI ``--json`` call and a ``curl`` of
+the matching ``/v1/...`` route return byte-identical documents.
+
 Commands:
 
 - ``simulate`` — run one (mix, policy, cooling) pair through the
@@ -13,6 +21,8 @@ Commands:
   through the parallel campaign engine and print or export the table.
 - ``scenarios`` — list the registered scenario library, or run named
   scenarios through the campaign engine.
+- ``serve`` — expose the API over HTTP (``/v1/simulate``,
+  ``/v1/scenarios``, ``/v1/campaign``, ...).
 
 Every run — ad-hoc or named — is composed by the scenario engine
 (:mod:`repro.scenarios`) and executed through the campaign engine, so
@@ -21,7 +31,7 @@ results are cached, deduplicated, and identical across entry points.
 Examples::
 
     python -m repro simulate --mix W1 --policy acg
-    python -m repro simulate --mix W2 --policy cdvfs+pid --cooling FDHS_1.0
+    python -m repro simulate --mix W1 --policy acg --json
     python -m repro compare --mix W3 --copies 1
     python -m repro server --platform SR1500AL --mix W1 --policy comb
     python -m repro homogeneous --platform SR1500AL --app swim
@@ -30,7 +40,7 @@ Examples::
         --platforms PE1950,SR1500AL --export results/campaign.csv
     python -m repro scenarios list --kind ch4
     python -m repro scenarios run hot-ambient throttle-storm --copies 1
-    python -m repro campaign --grid scenarios --scenarios idle-burst,narrow-pipe
+    python -m repro serve --port 8765
 """
 
 from __future__ import annotations
@@ -39,21 +49,26 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.campaigns import CAMPAIGN_GRIDS, run_campaign
-from repro.analysis.experiments import (
-    CHAPTER4_POLICIES,
-    CHAPTER4_POLICY_CHOICES,
-    CHAPTER5_POLICIES,
-)
+from repro.analysis.campaigns import CAMPAIGN_GRIDS
+from repro.analysis.specs import CHAPTER4_POLICY_CHOICES, CHAPTER5_POLICIES
 from repro.analysis.tables import format_csv, format_series, format_table
-from repro.campaign import Campaign, run as campaign_run
+from repro.api import (
+    SCHEMA_VERSION,
+    CampaignRequest,
+    CompareRequest,
+    ReproClient,
+    ScenarioRequest,
+    ServerRequest,
+    SimulateRequest,
+    dumps_canonical,
+    results_document,
+    scenarios_document,
+    serve,
+)
 from repro.errors import ReproError
 from repro.params.thermal_params import COOLING_CONFIGS
-from repro.scenarios import get_scenario, grid_scenario, iter_scenarios
-from repro.testbed.platforms import PE1950, SR1500AL
+from repro.testbed.platforms import PLATFORMS
 from repro.testbed.runner import run_homogeneous
-
-_PLATFORMS = {"PE1950": PE1950, "SR1500AL": SR1500AL}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,28 +79,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--json", action="store_true",
+            help="emit the versioned result envelope(s) as JSON",
+        )
+
     simulate = sub.add_parser("simulate", help="one Chapter 4 simulation run")
     simulate.add_argument("--mix", default="W1")
     simulate.add_argument("--policy", default="acg", choices=CHAPTER4_POLICY_CHOICES)
     simulate.add_argument("--cooling", default="AOHS_1.5", choices=sorted(COOLING_CONFIGS))
     simulate.add_argument("--ambient", default="isolated", choices=("isolated", "integrated"))
     simulate.add_argument("--copies", type=int, default=2)
+    add_json_flag(simulate)
 
     compare = sub.add_parser("compare", help="all Chapter 4 schemes on one mix")
     compare.add_argument("--mix", default="W1")
     compare.add_argument("--cooling", default="AOHS_1.5", choices=sorted(COOLING_CONFIGS))
     compare.add_argument("--copies", type=int, default=2)
+    add_json_flag(compare)
 
     server = sub.add_parser("server", help="one Chapter 5 server measurement")
-    server.add_argument("--platform", default="PE1950", choices=sorted(_PLATFORMS))
+    server.add_argument("--platform", default="PE1950", choices=sorted(PLATFORMS))
     server.add_argument("--mix", default="W1")
     server.add_argument("--policy", default="acg", choices=CHAPTER5_POLICIES)
     server.add_argument("--copies", type=int, default=2)
+    add_json_flag(server)
 
     homogeneous = sub.add_parser("homogeneous", help="§5.4.1 warm-up experiment")
-    homogeneous.add_argument("--platform", default="SR1500AL", choices=sorted(_PLATFORMS))
+    homogeneous.add_argument("--platform", default="SR1500AL", choices=sorted(PLATFORMS))
     homogeneous.add_argument("--app", default="swim")
     homogeneous.add_argument("--duration", type=float, default=500.0)
+    add_json_flag(homogeneous)
 
     campaign = sub.add_parser(
         "campaign", help="run a named experiment grid through the campaign engine"
@@ -129,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export", default=None, metavar="PATH",
         help="also write the table as CSV to PATH",
     )
+    add_json_flag(campaign)
 
     scenarios = sub.add_parser(
         "scenarios", help="list or run the registered scenario library"
@@ -137,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
     s_list = action.add_parser("list", help="show every registered scenario")
     s_list.add_argument("--kind", default=None, choices=("ch4", "ch5"))
     s_list.add_argument("--tag", default=None, help="filter by scenario tag")
+    add_json_flag(s_list)
     s_run = action.add_parser("run", help="run one or more scenarios by name")
     s_run.add_argument("names", nargs="+", metavar="NAME")
     s_run.add_argument("--copies", type=int, default=2)
@@ -148,54 +175,88 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export", default=None, metavar="PATH",
         help="also write the table as CSV to PATH",
     )
+    add_json_flag(s_run)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve the API over HTTP (see repro.api.service)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 binds an ephemeral port; see --port-file)",
+    )
+    serve_cmd.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH once listening",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
     return parser
 
 
-def _export_csv(path_arg: str | None, headers: list[str], rows: list[list]) -> None:
+def _print_json(document) -> None:
+    print(dumps_canonical(document))
+
+
+def _export_csv(
+    path_arg: str | None,
+    headers: list[str],
+    rows: list[list],
+    quiet: bool = False,
+) -> None:
     if not path_arg:
         return
     path = Path(path_arg)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(format_csv(headers, rows) + "\n")
-    print(f"\nexported {path}")
+    if quiet:
+        # Under --json stdout must stay one parseable document, so the
+        # note goes to stderr instead.
+        print(f"exported {path}", file=sys.stderr)
+    else:
+        print(f"\nexported {path}")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = grid_scenario(
-        "ch4", args.mix, args.policy, cooling=args.cooling, ambient=args.ambient
+    request = SimulateRequest(
+        mix=args.mix, policy=args.policy, cooling=args.cooling,
+        ambient=args.ambient, copies=args.copies,
     )
-    result = campaign_run(scenario.spec(copies=args.copies))
+    envelope = ReproClient().simulate(request)
+    if args.json:
+        print(envelope.to_json())
+        return 0
+    metrics = envelope.metrics
     rows = [
-        ["runtime (s)", result.runtime_s],
-        ["traffic (TB)", result.traffic_bytes / 1e12],
-        ["L2 misses (G)", result.l2_misses / 1e9],
-        ["CPU energy (kJ)", result.cpu_energy_j / 1e3],
-        ["memory energy (kJ)", result.memory_energy_j / 1e3],
-        ["peak AMB (degC)", result.peak_amb_c],
-        ["peak DRAM (degC)", result.peak_dram_c],
-        ["shutdown fraction", result.shutdown_fraction],
+        ["runtime (s)", metrics["runtime_s"]],
+        ["traffic (TB)", metrics["traffic_bytes"] / 1e12],
+        ["L2 misses (G)", metrics["l2_misses"] / 1e9],
+        ["CPU energy (kJ)", metrics["cpu_energy_j"] / 1e3],
+        ["memory energy (kJ)", metrics["memory_energy_j"] / 1e3],
+        ["peak AMB (degC)", metrics["peak_amb_c"]],
+        ["peak DRAM (degC)", metrics["peak_dram_c"]],
+        ["shutdown fraction", metrics["shutdown_fraction"]],
     ]
-    print(f"{result.policy} on {args.mix} @ {args.cooling} ({args.ambient} model):\n")
+    print(f"{metrics['policy']} on {args.mix} @ {args.cooling} ({args.ambient} model):\n")
     print(format_table(["metric", "value"], rows))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    specs = [
-        grid_scenario("ch4", args.mix, policy, cooling=args.cooling).spec(
-            copies=args.copies
-        )
-        for policy in CHAPTER4_POLICIES
-    ]
-    results = Campaign(specs).run()
-    baseline = results[0]
+    request = CompareRequest(mix=args.mix, cooling=args.cooling, copies=args.copies)
+    envelopes = ReproClient().compare(request)
+    if args.json:
+        _print_json(results_document(envelopes))
+        return 0
+    baseline = envelopes[0].metrics
     rows = [
-        [result.policy,
-         result.runtime_s / baseline.runtime_s,
-         result.traffic_bytes / baseline.traffic_bytes,
-         result.cpu_energy_j / baseline.cpu_energy_j,
-         result.peak_amb_c]
-        for result in results
+        [metrics["policy"],
+         metrics["runtime_s"] / baseline["runtime_s"],
+         metrics["traffic_bytes"] / baseline["traffic_bytes"],
+         metrics["cpu_energy_j"] / baseline["cpu_energy_j"],
+         metrics["peak_amb_c"]]
+        for metrics in (envelope.metrics for envelope in envelopes)
     ]
     print(f"{args.mix} @ {args.cooling}, normalized to No-limit:\n")
     print(format_table(["scheme", "runtime", "traffic", "cpu E", "peak AMB"], rows))
@@ -203,30 +264,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_server(args: argparse.Namespace) -> int:
-    scenario = grid_scenario(
-        "ch5", args.mix, args.policy, platform=args.platform
+    request = ServerRequest(
+        platform=args.platform, mix=args.mix, policy=args.policy,
+        copies=args.copies,
     )
-    result = campaign_run(scenario.spec(copies=args.copies))
+    envelope = ReproClient().server(request)
+    if args.json:
+        print(envelope.to_json())
+        return 0
+    metrics = envelope.metrics
     rows = [
-        ["runtime (s)", result.runtime_s],
-        ["L2 misses (G)", result.l2_misses / 1e9],
-        ["avg CPU power (W)", result.average_cpu_power_w],
-        ["mean inlet (degC)", result.mean_inlet_c],
-        ["peak AMB (degC)", result.peak_amb_c],
+        ["runtime (s)", metrics["runtime_s"]],
+        ["L2 misses (G)", metrics["l2_misses"] / 1e9],
+        ["avg CPU power (W)", metrics["average_cpu_power_w"]],
+        ["mean inlet (degC)", metrics["mean_inlet_c"]],
+        ["peak AMB (degC)", metrics["peak_amb_c"]],
     ]
-    print(f"{result.policy} on {args.mix} @ {args.platform}:\n")
+    print(f"{metrics['policy']} on {args.mix} @ {args.platform}:\n")
     print(format_table(["metric", "value"], rows))
     return 0
 
 
 def _cmd_homogeneous(args: argparse.Namespace) -> int:
-    platform = _PLATFORMS[args.platform]
+    platform = PLATFORMS[args.platform]
     trace, _ = run_homogeneous(platform, args.app, duration_s=args.duration)
-    print(f"4x {args.app} on {platform.name}, {args.duration:.0f} s from idle:\n")
-    print(format_series("AMB", trace.amb_c))
     crossed = next(
         (t for t, a in zip(trace.times_s, trace.amb_c) if a >= 100.0), None
     )
+    if args.json:
+        _print_json({
+            "schema_version": SCHEMA_VERSION,
+            "kind": "homogeneous",
+            "request": {
+                "type": "homogeneous",
+                "platform": args.platform,
+                "app": args.app,
+                "duration_s": args.duration,
+            },
+            "metrics": {
+                "samples": len(trace),
+                "start_amb_c": trace.amb_c[0],
+                "max_amb_c": max(trace.amb_c),
+                "crossed_100c_s": crossed,
+            },
+        })
+        return 0
+    print(f"4x {args.app} on {platform.name}, {args.duration:.0f} s from idle:\n")
+    print(format_series("AMB", trace.amb_c))
     print(f"\nstart {trace.amb_c[0]:.1f} degC, max {max(trace.amb_c):.1f} degC, "
           f"100 degC reached: {'never' if crossed is None else f'{crossed:.0f} s'}")
     return 0
@@ -238,16 +322,6 @@ def _split_csv_arg(raw: str) -> list[str]:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     grid = CAMPAIGN_GRIDS[args.grid]
-    mixes = (
-        _split_csv_arg(args.mixes)
-        if args.mixes is not None
-        else list(grid.mixes_default)
-    )
-    policies = (
-        _split_csv_arg(args.policies)
-        if args.policies is not None
-        else grid.default_policies()
-    )
     all_variant_flags = {g.variant_flag for g in CAMPAIGN_GRIDS.values()}
     for flag in sorted(all_variant_flags - {grid.variant_flag}):
         if getattr(args, flag.lstrip("-")) is not None:
@@ -257,17 +331,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
             return 2
     raw_variants = getattr(args, grid.variant_flag.lstrip("-"))
-    variants = _split_csv_arg(
-        raw_variants if raw_variants is not None else grid.variant_default
-    )
-    headers, rows = run_campaign(
-        args.grid,
-        mixes=mixes,
-        policies=policies,
-        variants=variants,
+    request = CampaignRequest(
+        grid=args.grid,
+        mixes=(
+            tuple(_split_csv_arg(args.mixes)) if args.mixes is not None else None
+        ),
+        policies=(
+            tuple(_split_csv_arg(args.policies))
+            if args.policies is not None
+            else None
+        ),
+        variants=(
+            tuple(_split_csv_arg(raw_variants))
+            if raw_variants is not None
+            else None
+        ),
         copies=args.copies,
         jobs=args.jobs,
     )
+    client = ReproClient()
+    if args.json:
+        _print_json(results_document(list(client.run_campaign(request))))
+        if args.export:
+            # The cells are warm now, so the table pass is all hits.
+            headers, rows = client.campaign_table(request)
+            _export_csv(args.export, headers, rows, quiet=True)
+        return 0
+    headers, rows = client.campaign_table(request)
     print(f"campaign {args.grid}: {len(rows)} runs\n")
     print(format_table(headers, rows))
     _export_csv(args.export, headers, rows)
@@ -275,10 +365,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
+    client = ReproClient()
     if args.action == "list":
+        descriptors = client.list_scenarios(kind=args.kind, tag=args.tag)
+        if args.json:
+            _print_json(scenarios_document(descriptors))
+            return 0
         rows = [
-            [s.name, s.kind, s.mix, s.policy, ",".join(s.tags), s.description]
-            for s in iter_scenarios(kind=args.kind, tag=args.tag)
+            [d["name"], d["kind"], d["mix"], d["policy"],
+             ",".join(d["tags"]), d["description"]]
+            for d in descriptors
         ]
         if not rows:
             print("no scenarios match the filter", file=sys.stderr)
@@ -288,15 +384,29 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         ))
         return 0
     # action == "run" — same columns as `campaign --grid scenarios`.
-    grid = CAMPAIGN_GRIDS["scenarios"]
-    scenarios = [get_scenario(name) for name in args.names]
-    specs = [scenario.spec(copies=args.copies) for scenario in scenarios]
-    results = Campaign(specs, jobs=args.jobs).run()
-    rows = [grid.row(spec, result) for spec, result in zip(specs, results)]
+    request = ScenarioRequest(
+        names=tuple(args.names), copies=args.copies, jobs=args.jobs
+    )
+    if args.json:
+        _print_json(results_document(list(client.run_scenarios(request))))
+        if args.export:
+            headers, rows = client.scenarios_table(request)
+            _export_csv(args.export, headers, rows, quiet=True)
+        return 0
+    headers, rows = client.scenarios_table(request)
     print(f"scenarios: {len(rows)} runs\n")
-    print(format_table(grid.headers, rows))
-    _export_csv(args.export, grid.headers, rows)
+    print(format_table(headers, rows))
+    _export_csv(args.export, headers, rows)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return serve(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        verbose=args.verbose,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -309,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         "homogeneous": _cmd_homogeneous,
         "campaign": _cmd_campaign,
         "scenarios": _cmd_scenarios,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

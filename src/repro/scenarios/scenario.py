@@ -6,8 +6,8 @@ model (cooling column + ambient row, or a Chapter 5 server platform),
 platform-shape parameters (channels, chain depth) and a traffic shape
 (duty cycle, bandwidth scaling) into one declarative, frozen object.
 ``Scenario.spec()`` lowers it to the campaign engine's
-:class:`~repro.analysis.experiments.Chapter4Spec` /
-:class:`~repro.analysis.experiments.Chapter5Spec`, which is how every
+:class:`~repro.analysis.specs.Chapter4Spec` /
+:class:`~repro.analysis.specs.Chapter5Spec`, which is how every
 entry point — the CLI, the campaign grids, the figure benches — actually
 launches it (with caching, dedup, and parallelism for free).
 
@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator
 
-from repro.analysis.experiments import (
+from repro.analysis.specs import (
     CHAPTER4_POLICY_CHOICES,
     CHAPTER5_POLICIES,
     Chapter4Spec,
@@ -31,6 +31,7 @@ from repro.analysis.experiments import (
 from repro.campaign import RunSpec
 from repro.errors import ConfigurationError
 from repro.params.thermal_params import COOLING_CONFIGS
+from repro.testbed.platforms import PLATFORMS
 
 #: Spec kinds a scenario can lower to.
 SCENARIO_KINDS = ("ch4", "ch5")
@@ -127,6 +128,11 @@ class Scenario:
         if self.kind == "ch4" and self.ambient not in ("isolated", "integrated"):
             raise ConfigurationError(
                 f"scenario {self.name!r}: ambient must be isolated or integrated"
+            )
+        if self.kind == "ch5" and self.platform not in PLATFORMS:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown platform {self.platform!r} "
+                f"(choices: {sorted(PLATFORMS)})"
             )
         if not 0.0 < self.duty_cycle <= 1.0:
             raise ConfigurationError(

@@ -157,3 +157,10 @@ SR1500AL = ServerPlatform(
     cooling=_server_cooling("SR1500AL", psi_amb=6.6),
     cpu_mem_interaction=2.0,
 )
+
+#: Canonical registry of the measured platforms, keyed by name.  The
+#: CLI, the scenario engine, and the client API all resolve platform
+#: names through this one mapping.
+PLATFORMS: dict[str, ServerPlatform] = {
+    platform.name: platform for platform in (PE1950, SR1500AL)
+}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.experiments import (
+from repro.analysis.specs import (
     Chapter4Spec,
     Chapter5Spec,
     bench_copies,

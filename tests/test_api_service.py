@@ -1,0 +1,189 @@
+"""The HTTP service mode: routes, errors, and CLI/HTTP byte-identity."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, ReproClient, ReproService, ResultEnvelope
+from repro.api import service as service_module
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One threaded service over the default (suite-shared) store."""
+    svc = ReproService(port=0)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    yield svc
+    svc.shutdown()
+    svc.server_close()
+    thread.join(timeout=5)
+
+
+def _get(service: ReproService, path: str):
+    with urllib.request.urlopen(service.url + path) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(service: ReproService, path: str, payload: dict):
+    request = urllib.request.Request(
+        service.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _error(service: ReproService, path: str, data: bytes | None = None):
+    request = urllib.request.Request(service.url + path, data=data)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    return excinfo.value.code, json.loads(excinfo.value.read())
+
+
+def test_scenarios_listing_route(service):
+    status, document = _get(service, "/v1/scenarios")
+    assert status == 200
+    assert document["schema_version"] == SCHEMA_VERSION
+    names = {d["name"] for d in document["scenarios"]}
+    assert "hot-ambient" in names and "server-low-tdp" in names
+    status, filtered = _get(service, "/v1/scenarios?kind=ch5")
+    assert all(d["kind"] == "ch5" for d in filtered["scenarios"])
+    assert len(filtered["scenarios"]) < len(document["scenarios"])
+
+
+def test_simulate_route_get_and_post_agree(service):
+    path = "/v1/simulate?mix=W1&policy=ts&copies=1"
+    status, first = _get(service, path)
+    assert status == 200
+    envelope = ResultEnvelope.from_dict(first)
+    assert envelope.metrics["policy"] == "DTM-TS"
+    assert envelope.request == {
+        "type": "simulate", "mix": "W1", "policy": "ts",
+        "cooling": "AOHS_1.5", "ambient": "isolated", "copies": 1,
+    }
+    status, second = _post(
+        service, "/v1/simulate", {"mix": "W1", "policy": "ts", "copies": 1}
+    )
+    assert second["provenance"]["cache"] == "hit"
+    assert second["metrics"] == first["metrics"]
+
+
+def test_server_route(service):
+    status, raw = _get(service, "/v1/server?platform=PE1950&mix=W1&policy=bw&copies=1")
+    assert status == 200
+    envelope = ResultEnvelope.from_dict(raw)
+    assert envelope.kind == "ch5"
+    assert envelope.metrics["platform"] == "PE1950"
+
+
+def test_campaign_route(service):
+    status, document = _get(
+        service, "/v1/campaign?grid=ch4&mixes=W1&policies=ts,bw&copies=1"
+    )
+    assert status == 200
+    assert document["schema_version"] == SCHEMA_VERSION
+    policies = [r["metrics"]["policy"] for r in document["results"]]
+    assert policies == ["DTM-TS", "DTM-BW"]
+
+
+def test_compare_route(service):
+    status, document = _post(service, "/v1/compare", {"mix": "W1", "copies": 1})
+    assert status == 200
+    assert document["results"][0]["metrics"]["policy"] == "No-limit"
+    assert len(document["results"]) == 8
+
+
+def test_scenarios_run_route(service):
+    status, document = _get(service, "/v1/scenarios/run?names=cold-aisle&copies=1")
+    assert status == 200
+    assert document["results"][0]["scenario"] == "cold-aisle"
+
+
+def test_jobs_rejected_over_http(service):
+    code, body = _error(service, "/v1/campaign?grid=ch4&mixes=W1&policies=ts&copies=1&jobs=4")
+    assert code == 400 and "jobs is not supported over HTTP" in body["error"]
+
+
+def test_error_responses(service):
+    code, body = _error(service, "/nope")
+    assert code == 404 and "unknown route" in body["error"]
+    code, body = _error(service, "/v1/simulate?policy=warp")
+    assert code == 400 and "unknown ch4 policy" in body["error"]
+    code, body = _error(service, "/v1/simulate?copies=two")
+    assert code == 400 and "must be an integer" in body["error"]
+    code, body = _error(service, "/v1/scenarios?flavor=spicy")
+    assert code == 400 and "unknown scenario-listing parameters" in body["error"]
+    code, body = _error(service, "/v1/scenarios?kind=ch6")
+    assert code == 400 and "kind must be" in body["error"]
+    code, body = _error(service, "/v1/simulate", data=b"{not json")
+    assert code == 400 and "not valid JSON" in body["error"]
+    code, body = _error(service, "/v1/simulate", data=b"[1, 2]")
+    assert code == 400 and "JSON object" in body["error"]
+    code, body = _error(service, "/v1/scenarios", data=b"{}")
+    assert code == 405 and "use GET" in body["error"]
+    code, body = _error(service, "/nope", data=b"{}")
+    assert code == 404
+    # Every error body is itself versioned.
+    assert body["schema_version"] == SCHEMA_VERSION
+
+
+def test_cli_json_and_http_are_byte_identical(service, capsys):
+    """The acceptance check: warm cell, CLI --json == curl body."""
+    args = ["simulate", "--mix", "W1", "--policy", "acg", "--copies", "1",
+            "--json"]
+    assert main(args) == 0  # warm the shared cache
+    capsys.readouterr()
+    assert main(args) == 0
+    cli_text = capsys.readouterr().out
+    with urllib.request.urlopen(
+        service.url + "/v1/simulate?mix=W1&policy=acg&copies=1"
+    ) as response:
+        http_text = response.read().decode()
+    assert cli_text == http_text
+    envelope = ResultEnvelope.from_dict(json.loads(http_text))
+    assert envelope.provenance.cache == "hit"
+    assert envelope.provenance.compute_seconds == 0.0
+
+
+def test_verbose_logging_path(capsys):
+    svc = ReproService(port=0, client=ReproClient(), verbose=True)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    try:
+        _get(svc, "/v1/scenarios")
+    finally:
+        svc.shutdown()
+        svc.server_close()
+        thread.join(timeout=5)
+
+
+def test_serve_writes_port_file_and_stops(tmp_path, monkeypatch, capsys):
+    """serve() announces, writes the port file, and exits cleanly."""
+    monkeypatch.setattr(
+        ReproService, "serve_forever",
+        lambda self, *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+    )
+    port_file = tmp_path / "port"
+    code = service_module.serve(port=0, port_file=str(port_file))
+    assert code == 0
+    assert int(port_file.read_text()) > 0
+    assert "serving repro API" in capsys.readouterr().out
+
+
+def test_cli_serve_subcommand(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(
+        ReproService, "serve_forever",
+        lambda self, *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+    )
+    port_file = tmp_path / "port"
+    assert main(["serve", "--port", "0", "--port-file", str(port_file)]) == 0
+    assert port_file.exists()
+    assert "serving repro API" in capsys.readouterr().out

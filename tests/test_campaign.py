@@ -6,7 +6,7 @@ from typing import ClassVar
 
 import pytest
 
-from repro.analysis.experiments import (
+from repro.analysis.specs import (
     Chapter4Spec,
     run_result_from_dict,
     run_result_to_dict,

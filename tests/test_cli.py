@@ -177,3 +177,90 @@ def test_scenarios_run_unknown_fails_cleanly(capsys):
 def test_scenarios_action_required():
     with pytest.raises(SystemExit):
         main(["scenarios"])
+
+
+def _json_out(capsys) -> dict:
+    import json
+
+    return json.loads(capsys.readouterr().out)
+
+
+def test_simulate_json_envelope(capsys):
+    from repro.api import ResultEnvelope
+
+    assert main(["simulate", "--mix", "W1", "--policy", "ts",
+                 "--copies", "1", "--json"]) == 0
+    envelope = ResultEnvelope.from_dict(_json_out(capsys))
+    assert envelope.kind == "ch4"
+    assert envelope.metrics["policy"] == "DTM-TS"
+    assert envelope.request["type"] == "simulate"
+    assert envelope.provenance.cache in ("hit", "miss")
+
+
+def test_server_json_envelope(capsys):
+    assert main(["server", "--platform", "PE1950", "--mix", "W1",
+                 "--policy", "bw", "--copies", "1", "--json"]) == 0
+    document = _json_out(capsys)
+    assert document["kind"] == "ch5"
+    assert document["metrics"]["platform"] == "PE1950"
+
+
+def test_compare_json_document(capsys):
+    assert main(["compare", "--mix", "W1", "--copies", "1", "--json"]) == 0
+    document = _json_out(capsys)
+    assert document["schema_version"]
+    assert document["results"][0]["metrics"]["policy"] == "No-limit"
+    assert len(document["results"]) == 8
+
+
+def test_homogeneous_json(capsys):
+    assert main(["homogeneous", "--platform", "SR1500AL", "--app", "swim",
+                 "--duration", "60", "--json"]) == 0
+    document = _json_out(capsys)
+    assert document["kind"] == "homogeneous"
+    assert document["metrics"]["samples"] > 0
+    assert document["metrics"]["max_amb_c"] > document["metrics"]["start_amb_c"]
+
+
+def test_campaign_json_document(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["campaign", "--mixes", "W1", "--policies", "ts,acg",
+                 "--copies", "1", "--json"]) == 0
+    document = _json_out(capsys)
+    assert len(document["results"]) == 2
+    assert [r["metrics"]["policy"] for r in document["results"]] == [
+        "DTM-TS", "DTM-ACG",
+    ]
+    assert all(r["request"]["type"] == "cell" for r in document["results"])
+
+
+def test_scenarios_list_json(capsys):
+    assert main(["scenarios", "list", "--json"]) == 0
+    document = _json_out(capsys)
+    assert {"name", "kind", "tags"} <= set(document["scenarios"][0])
+    assert main(["scenarios", "list", "--kind", "ch5", "--json"]) == 0
+    document = _json_out(capsys)
+    assert all(d["kind"] == "ch5" for d in document["scenarios"])
+
+
+def test_scenarios_run_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["scenarios", "run", "cold-aisle", "--copies", "1",
+                 "--json"]) == 0
+    document = _json_out(capsys)
+    assert document["results"][0]["scenario"] == "cold-aisle"
+
+
+def test_campaign_json_with_export_writes_csv(capsys, tmp_path, monkeypatch):
+    """--export still works under --json; stdout stays pure JSON."""
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    export = tmp_path / "campaign.csv"
+    assert main(["campaign", "--mixes", "W1", "--policies", "ts",
+                 "--copies", "1", "--json", "--export", str(export)]) == 0
+    captured = capsys.readouterr()
+    document = json.loads(captured.out)  # no trailing export note
+    assert len(document["results"]) == 1
+    assert "exported" in captured.err
+    assert export.read_text().startswith("cooling,mix,policy,")

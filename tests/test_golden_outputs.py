@@ -27,7 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.campaigns import run_campaign
-from repro.analysis.experiments import (
+from repro.analysis.specs import (
     Chapter4Spec,
     Chapter5Spec,
     run_result_to_dict,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.campaigns import run_campaign
-from repro.analysis.experiments import Chapter4Spec, Chapter5Spec
+from repro.analysis.specs import Chapter4Spec, Chapter5Spec
 from repro.campaign import NullStore
 from repro.errors import ConfigurationError
 from repro.scenarios import (
