@@ -372,10 +372,12 @@ register_runner(
     _execute_chapter4,
     encode=run_result_to_dict,
     decode=run_result_from_dict,
+    spec_type=Chapter4Spec,
 )
 register_runner(
     "ch5",
     _execute_chapter5,
     encode=server_result_to_dict,
     decode=server_result_from_dict,
+    spec_type=Chapter5Spec,
 )

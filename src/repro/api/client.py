@@ -31,7 +31,14 @@ from repro.api.requests import (
     SimulateRequest,
     request_to_dict,
 )
-from repro.campaign import Campaign, ResultStore, RunSpec, default_store, run_cached
+from repro.campaign import (
+    Campaign,
+    ResultStore,
+    RunSpec,
+    default_store,
+    run_cached,
+    run_payload,
+)
 from repro.scenarios import iter_scenarios
 
 
@@ -62,14 +69,26 @@ def _cell_echo(spec: RunSpec) -> dict:
 
 
 class ReproClient:
-    """Typed façade over the scenario + campaign engines."""
+    """Typed façade over the scenario + campaign engines.
 
-    def __init__(self, store: ResultStore | None = None) -> None:
+    ``backend`` selects where multi-cell runs execute (an
+    :class:`~repro.cluster.ExecutionBackend` — e.g. a reusable process
+    pool or an HTTP worker fleet).  The backend is borrowed, not owned:
+    the caller closes it (normally with a ``with`` block) after its
+    last campaign, so one fleet serves many client calls.  ``None``
+    keeps the classic behavior — serial, or a per-run pool when the
+    request's ``jobs`` asks for one.
+    """
+
+    def __init__(
+        self, store: ResultStore | None = None, *, backend: Any | None = None
+    ) -> None:
         #: None is a meaningful sentinel ("the default stack"), kept as
         #: such all the way into the campaign engine: pool workers then
         #: rebuild their own default store instead of receiving a
         #: pickled copy of the process-wide memo.
         self._store = store
+        self._backend = backend
 
     @property
     def store(self) -> ResultStore:
@@ -125,6 +144,18 @@ class ReproClient:
         """Scenario runs as a (headers, rows) table — the CLI's view."""
         return self._table(request)
 
+    # -- worker duty -------------------------------------------------------
+
+    def run_cell_payload(self, spec: RunSpec) -> tuple[dict, bool, float]:
+        """Run (or recall) one cell, returning its encoded payload.
+
+        The ``/v1/worker/run`` route's execution path: the worker
+        computes against *this client's* store (the same one every
+        other route reads), returning ``(payload, hit, seconds)`` for
+        the coordinator to merge into its own store.
+        """
+        return run_payload(spec, self._store)
+
     # -- scenario library --------------------------------------------------
 
     def list_scenarios(self, kind: str | None = None, tag: str | None = None) -> list[dict]:
@@ -151,7 +182,9 @@ class ReproClient:
         self, request: CampaignRequest | ScenarioRequest
     ) -> tuple[list[str], list[list[Any]]]:
         grid, specs = request.cells()
-        campaign = Campaign(specs, jobs=request.jobs, store=self._store)
+        campaign = Campaign(
+            specs, jobs=request.jobs, store=self._store, backend=self._backend
+        )
         rows = [
             grid.row(spec, result)
             for spec, result, _, _ in campaign.iter_run()
@@ -159,7 +192,9 @@ class ReproClient:
         return list(grid.headers), rows
 
     def _iter_cells(self, specs: list[RunSpec], jobs: int) -> Iterator[ResultEnvelope]:
-        campaign = Campaign(specs, jobs=jobs, store=self._store)
+        campaign = Campaign(
+            specs, jobs=jobs, store=self._store, backend=self._backend
+        )
         for spec, result, hit, seconds in campaign.iter_run():
             yield self._envelope(spec, result, hit, seconds, _cell_echo(spec))
 

@@ -16,6 +16,13 @@ Routes (v1):
 - ``GET|POST /v1/compare``          — every ch4 scheme on one mix.
 - ``GET|POST /v1/campaign``         — a named grid.
 - ``GET|POST /v1/scenarios/run``    — registered scenarios by name.
+- ``GET  /v1/worker/health``        — fleet heartbeat probe (status,
+  pid, wire version, runnable spec kinds).
+- ``POST /v1/worker/run``           — execute wire-format cells for a
+  :class:`~repro.cluster.HttpWorkerBackend` coordinator, returning
+  encoded payloads with cache provenance.  Cells run against this
+  worker's own store stack, so repeat dispatches are cache hits here
+  even before the coordinator merges payloads into its shared store.
 
 GET passes axes as query parameters (comma-separated lists, e.g.
 ``?grid=ch4&mixes=W1,W2&policies=ts,acg``); POST passes a JSON object
@@ -31,6 +38,7 @@ identical *simultaneous* cold requests may each compute the cell.)
 from __future__ import annotations
 
 import json
+import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qsl, urlparse
@@ -43,6 +51,8 @@ from repro.api.envelope import (
     scenarios_document,
 )
 from repro.api.requests import request_from_dict
+from repro.campaign import spec_kinds_with_types
+from repro.cluster.wire import WIRE_VERSION, cell_from_wire
 from repro.errors import ConfigurationError, ReproError
 
 #: Query parameters parsed as integers.
@@ -127,6 +137,10 @@ class _Handler(BaseHTTPRequestHandler):
             if url.path == "/v1/scenarios":
                 params = _params_from_query(url.query)
                 self._list_scenarios(params)
+            elif url.path == "/v1/worker/health":
+                self._worker_health()
+            elif url.path == "/v1/worker/run":
+                self._error(405, "use POST for /v1/worker/run")
             elif url.path in _RUN_ROUTES:
                 params = _params_from_query(url.query)
                 self._run(_RUN_ROUTES[url.path], params)
@@ -140,6 +154,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if url.path in _RUN_ROUTES:
                 self._run(_RUN_ROUTES[url.path], self._read_json_body())
+            elif url.path == "/v1/worker/run":
+                self._worker_run(self._read_json_body())
+            elif url.path == "/v1/worker/health":
+                self._error(405, "use GET for /v1/worker/health")
             elif url.path == "/v1/scenarios":
                 self._error(405, "use GET for /v1/scenarios")
             else:
@@ -164,6 +182,49 @@ class _Handler(BaseHTTPRequestHandler):
             kind=kind, tag=params.get("tag")
         )
         self._respond(200, scenarios_document(descriptors))
+
+    def _worker_health(self) -> None:
+        """The fleet heartbeat probe: alive, and what this worker can run."""
+        self._respond(200, {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "role": self.server.role,
+            "pid": os.getpid(),
+            "wire_version": WIRE_VERSION,
+            "kinds": list(spec_kinds_with_types()),
+        })
+
+    def _worker_run(self, body: dict) -> None:
+        """Execute wire-format cells against this worker's own store.
+
+        The response carries each cell's encoded payload plus the same
+        hit/compute-seconds provenance a local run would record, so the
+        coordinator's envelopes are indistinguishable from local ones.
+        """
+        cells = body.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ConfigurationError(
+                "worker run body needs a non-empty 'cells' list"
+            )
+        unknown = set(body) - {"cells"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown worker run fields {sorted(unknown)}"
+            )
+        results = []
+        for raw in cells:
+            spec = cell_from_wire(raw)
+            payload, hit, seconds = self.server.client.run_cell_payload(spec)
+            results.append({
+                "key": spec.key(),
+                "kind": spec.kind,
+                "payload": payload,
+                "cache": "hit" if hit else "miss",
+                "compute_seconds": round(seconds, 6),
+            })
+        self._respond(
+            200, {"schema_version": SCHEMA_VERSION, "results": results}
+        )
 
     def _run(self, type_tag: str, params: dict) -> None:
         params.pop("type", None)
@@ -210,9 +271,15 @@ class ReproService(ThreadingHTTPServer):
         *,
         client: ReproClient | None = None,
         verbose: bool = False,
+        role: str = "api",
     ) -> None:
         self.client = client if client is not None else ReproClient()
         self.verbose = verbose
+        #: "api" for the front service, "worker" for fleet members.
+        #: Purely informational — every instance serves all routes —
+        #: but surfaced in banners and health documents so an operator
+        #: can tell what a port was started as.
+        self.role = role
         super().__init__((host, port), _Handler)
 
     @property
@@ -233,18 +300,22 @@ def serve(
     client: ReproClient | None = None,
     port_file: str | None = None,
     verbose: bool = False,
+    role: str = "api",
 ) -> int:
-    """Run the service until interrupted (the ``serve`` subcommand).
+    """Run the service until interrupted (the ``serve``/``worker`` subcommands).
 
     ``port_file`` writes the bound port to a file once listening —
-    the hook CI and tests use with ``--port 0``.
+    the hook CI, tests, and :class:`~repro.cluster.LocalFleet` use
+    with ``--port 0``.  ``role="worker"`` only changes the banner and
+    health document; fleet workers serve the full route table.
     """
-    service = ReproService(host, port, client=client, verbose=verbose)
+    service = ReproService(host, port, client=client, verbose=verbose, role=role)
     try:
         if port_file:
             Path(port_file).write_text(f"{service.port}\n")
+        label = "API" if role == "api" else role
         print(
-            f"serving repro API (schema {SCHEMA_VERSION}) on {service.url}",
+            f"serving repro {label} (schema {SCHEMA_VERSION}) on {service.url}",
             flush=True,
         )
         service.serve_forever()

@@ -11,15 +11,18 @@ this package knows nothing about thermal simulation — only how to
 execute, cache, and order runs.
 """
 
-from repro.campaign.engine import Campaign, run, run_cached, sweep
+from repro.campaign.engine import Campaign, run, run_cached, run_payload, sweep
 from repro.campaign.spec import (
     CACHE_VERSION,
     Runner,
     RunSpec,
     register_runner,
+    register_spec_type,
     registered_kinds,
     runner_for,
     spec_key,
+    spec_kinds_with_types,
+    spec_type_for,
 )
 from repro.campaign.stores import (
     GLOBAL_MEMORY,
@@ -37,14 +40,18 @@ __all__ = [
     "Campaign",
     "run",
     "run_cached",
+    "run_payload",
     "sweep",
     "CACHE_VERSION",
     "Runner",
     "RunSpec",
     "register_runner",
+    "register_spec_type",
     "registered_kinds",
     "runner_for",
     "spec_key",
+    "spec_kinds_with_types",
+    "spec_type_for",
     "GLOBAL_MEMORY",
     "JsonDirStore",
     "MemoryStore",

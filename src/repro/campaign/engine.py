@@ -1,11 +1,12 @@
-"""Campaign execution: single runs, grid expansion, parallel sweeps.
+"""Campaign execution: single runs, grid expansion, pluggable backends.
 
 :func:`run` is the one entry point for executing any registered spec
 with caching.  :func:`sweep` expands a declarative parameter grid into
 specs.  :class:`Campaign` executes a list of specs — deduplicated by
-cache key, optionally in parallel via a process pool — and returns
-results in the order the specs were given, so tables built from a
-campaign are byte-identical no matter how many workers ran it.
+cache key, dispatched through an :class:`~repro.cluster.ExecutionBackend`
+(in-process serial, local process pool, or an HTTP worker fleet) — and
+returns results in the order the specs were given, so tables built from
+a campaign are byte-identical no matter where the cells ran.
 
 Every returned result is the decode of its cache payload (fresh runs
 are round-tripped through the codec before returning), so fresh and
@@ -18,7 +19,6 @@ from __future__ import annotations
 
 import itertools
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.campaign.spec import RunSpec, runner_for
@@ -109,6 +109,21 @@ def run_cached(
     return result, hit, compute_seconds
 
 
+def run_payload(
+    spec: RunSpec, store: ResultStore | None = None
+) -> tuple[dict, bool, float]:
+    """Run (or recall) one spec, returning its *encoded* payload.
+
+    Returns ``(payload, hit, compute_seconds)``.  This is the form
+    execution backends and cluster workers traffic in: payloads are
+    JSON-serializable, so they cross process and HTTP boundaries and
+    can be written into any :class:`ResultStore` unchanged.
+    """
+    store = default_store() if store is None else store
+    payload, _, hit, compute_seconds = _payload_and_result(spec, store)
+    return payload, hit, compute_seconds
+
+
 def sweep(
     spec_type: type,
     grid: Mapping[str, Sequence[Any]],
@@ -133,27 +148,21 @@ def sweep(
     ]
 
 
-def _worker_execute(
-    spec: RunSpec, store: ResultStore | None
-) -> tuple[str, dict, bool, float]:
-    """Pool-worker entry: run one spec, return (key, payload, hit, seconds).
-
-    With no explicit store the worker uses its own default stack, so
-    results cached by earlier campaigns (or sibling workers) hit the
-    shared disk layer; an explicit store arrives as a pickled copy, so
-    its disk layers are shared but memory layers are private.
-    """
-    store = default_store() if store is None else store
-    payload, _, hit, compute_seconds = _payload_and_result(spec, store)
-    return spec.key(), payload, hit, compute_seconds
-
-
 class Campaign:
     """A batch of run specs executed with dedup, caching, and parallelism.
 
     Results come back in spec order regardless of completion order, and
-    every result is decoded from its cache payload — the serial and
-    parallel paths therefore produce identical values.
+    every result is decoded from its cache payload — the serial,
+    process-pool, and HTTP-fleet paths therefore produce identical
+    values.
+
+    Execution is delegated to an
+    :class:`~repro.cluster.ExecutionBackend`.  With no explicit
+    ``backend`` the campaign builds (and deterministically shuts down)
+    its own: serial for ``jobs == 1``, a local process pool otherwise.
+    An explicit backend is *borrowed* — it can be reused across many
+    campaigns (one process pool, one worker fleet) and is closed by its
+    owner, normally a ``with`` block around the whole batch.
     """
 
     def __init__(
@@ -162,6 +171,7 @@ class Campaign:
         *,
         jobs: int = 1,
         store: ResultStore | None = None,
+        backend: "Any | None" = None,
     ) -> None:
         self.specs = list(specs)
         if jobs < 1:
@@ -172,6 +182,8 @@ class Campaign:
         #: instead of receiving a pickled copy of the shared memo.
         self._explicit_store = store
         self.store = default_store() if store is None else store
+        #: Borrowed execution backend (None = build per run).
+        self.backend = backend
         for spec in self.specs:
             runner_for(spec.kind)  # fail fast on unregistered kinds
 
@@ -181,6 +193,32 @@ class Campaign:
     def run(self) -> list[Any]:
         """Execute every spec and return results in spec order."""
         return [result for _, result, _, _ in self.iter_run()]
+
+    def _default_backend(self, cells: int) -> Any:
+        """The owned backend for one run: serial, or a process pool."""
+        from repro.cluster.backends import LocalProcessBackend, SerialBackend
+
+        if self.jobs == 1 or cells <= 1:
+            return SerialBackend()
+        return LocalProcessBackend(jobs=min(self.jobs, cells))
+
+    def _backfill_store(self, backend: Any) -> ResultStore | None:
+        """Where the coordinator re-publishes payloads it received.
+
+        - in-process backends wrote through the campaign store already;
+        - pool workers on this host share the default disk layer, so
+          only the process-wide memory memo needs the payload;
+        - remote (HTTP) workers share nothing — their payloads are
+          written through the campaign's full store, which is what
+          makes a distributed run warm the same cache a local run
+          reads;
+        - an explicit store always gets a full write-through.
+        """
+        if backend.in_process:
+            return None
+        if self._explicit_store is not None:
+            return self.store
+        return GLOBAL_MEMORY if backend.shares_disk else self.store
 
     def iter_run(self) -> Iterator[tuple[RunSpec, Any, bool, float]]:
         """Stream ``(spec, result, cache_hit, compute_seconds)`` in spec order.
@@ -196,49 +234,60 @@ class Campaign:
         measured where it ran (0.0 on a cache hit), so parallel cells
         report true per-cell cost.  A duplicate spec is a hit on its
         repeat occurrences: the first one carries the compute.
-        Abandoning the iterator early cancels not-yet-started cells.
+        Abandoning the iterator early cancels not-yet-started cells and
+        shuts down the campaign-owned backend; a borrowed backend stays
+        open for its owner to reuse or close.
         """
         unique: dict[str, RunSpec] = {}
         for spec in self.specs:
             unique.setdefault(spec.key(), spec)
-        seen: dict[str, dict] = {}
-        if self.jobs == 1 or len(unique) <= 1:
-            for spec in self.specs:
-                key = spec.key()
-                if key in seen:
-                    yield spec, self._decoded(spec, seen[key]), True, 0.0
+        seen: dict[str, tuple[dict, bool, float]] = {}
+        backend = self.backend
+        owned = backend is None
+        if owned:
+            backend = self._default_backend(len(unique))
+        if not backend.in_process:
+            # Serve cells the campaign's own store already holds before
+            # dispatching anything: a warm local cache must not make a
+            # remote fleet (or a fresh pool) recompute the grid.
+            for key, spec in list(unique.items()):
+                payload = self.store.get(key)
+                if payload is None:
                     continue
-                payload, _, hit, seconds = _payload_and_result(
-                    unique[key], self.store
-                )
-                seen[key] = payload
-                yield spec, self._decoded(spec, payload), hit, seconds
-            return
-        # Workers under the default stack already persisted to the
-        # shared disk layer; only the in-process memo needs the
-        # payload.  An explicit store gets a full write-through.
-        backfill = GLOBAL_MEMORY if self._explicit_store is None else self.store
-        workers = min(self.jobs, len(unique))
-        pool = ProcessPoolExecutor(max_workers=workers)
+                if _decode_cached(spec.kind, key, payload) is None:
+                    continue  # stale-schema payload: recompute
+                seen[key] = (payload, True, 0.0)
+                del unique[key]
+        backfill = self._backfill_store(backend)
         try:
-            futures = {
-                key: pool.submit(_worker_execute, spec, self._explicit_store)
-                for key, spec in unique.items()
-            }
+            backend.submit_cells(
+                list(unique.items()), store=self._explicit_store
+            )
+            results = backend.iter_results()
+            emitted: dict[str, dict] = {}
             for spec in self.specs:
                 key = spec.key()
-                if key in seen:
-                    yield spec, self._decoded(spec, seen[key]), True, 0.0
+                if key in emitted:
+                    yield spec, self._decoded(spec, emitted[key]), True, 0.0
                     continue
-                _, payload, hit, seconds = futures[key].result()
-                seen[key] = payload
-                backfill.put(key, payload)
+                while key not in seen:
+                    try:
+                        done_key, payload, hit, seconds = next(results)
+                    except StopIteration:
+                        raise ConfigurationError(
+                            f"execution backend "
+                            f"{type(backend).__name__} finished without "
+                            f"delivering cell {key}"
+                        ) from None
+                    seen[done_key] = (payload, hit, seconds)
+                    if backfill is not None:
+                        backfill.put(done_key, payload)
+                payload, hit, seconds = seen.pop(key)
+                emitted[key] = payload
                 yield spec, self._decoded(spec, payload), hit, seconds
         finally:
-            # An abandoned iterator (consumer breaks mid-stream) must
-            # not block on the rest of the grid: drop queued cells and
-            # return without waiting for in-flight ones.
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owned:
+                backend.close()
 
     def _decoded(self, spec: RunSpec, payload: dict) -> Any:
         result = _decode_cached(spec.kind, spec.key(), payload)

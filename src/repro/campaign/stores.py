@@ -122,6 +122,75 @@ class JsonDirStore(ResultStore):
             except OSError:
                 pass
 
+    # -- maintenance -------------------------------------------------------
+
+    def _entry_paths(self) -> list[Path]:
+        """Every published entry file (sharded and legacy flat layout)."""
+        if not self.root.is_dir():
+            return []
+        try:
+            return [
+                path
+                for path in self.root.glob("**/*.json")
+                if path.is_file()
+            ]
+        except OSError:
+            return []
+
+    def stats(self) -> dict:
+        """Cache census: entry count, total bytes, shard directories.
+
+        Like every other store operation this degrades instead of
+        raising — an unreadable file simply doesn't count — so it is
+        safe to call against a cache other processes are writing.
+        """
+        entries = 0
+        total_bytes = 0
+        shards: set[str] = set()
+        for path in self._entry_paths():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            if path.parent != self.root:
+                shards.add(path.parent.name)
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "shards": len(shards),
+        }
+
+    def prune(self, max_entries: int) -> int:
+        """Evict oldest entries (by mtime) down to ``max_entries``.
+
+        Returns the number of entries removed.  Eviction races are
+        benign: an entry deleted by a concurrent pruner just counts for
+        whoever unlinked it first, and readers of a pruned key see an
+        ordinary cache miss.
+        """
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        dated: list[tuple[float, Path]] = []
+        for path in self._entry_paths():
+            try:
+                dated.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        excess = len(dated) - max_entries
+        if excess <= 0:
+            return 0
+        dated.sort(key=lambda item: item[0])
+        removed = 0
+        for _, path in dated[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
 
 class TieredStore(ResultStore):
     """Layered store: first hit wins, earlier layers are backfilled.

@@ -23,6 +23,14 @@ Commands:
   scenarios through the campaign engine.
 - ``serve`` — expose the API over HTTP (``/v1/simulate``,
   ``/v1/scenarios``, ``/v1/campaign``, ...).
+- ``worker`` — run a fleet worker: the same HTTP service, started for
+  the ``/v1/worker/{run,health}`` routes an
+  :class:`~repro.cluster.HttpWorkerBackend` coordinator dispatches to.
+
+``campaign`` and ``scenarios run`` accept ``--backend
+{local,serial,http}``; ``--backend http --workers URL,URL`` shards the
+grid across a worker fleet and merges the results into this process's
+result store, so a later local run is all cache hits.
 
 Every run — ad-hoc or named — is composed by the scenario engine
 (:mod:`repro.scenarios`) and executed through the campaign engine, so
@@ -41,11 +49,15 @@ Examples::
     python -m repro scenarios list --kind ch4
     python -m repro scenarios run hot-ambient throttle-storm --copies 1
     python -m repro serve --port 8765
+    python -m repro worker --port 9001
+    python -m repro campaign --mixes W1,W2 --backend http \\
+        --workers http://127.0.0.1:9001,http://127.0.0.1:9002
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -65,7 +77,8 @@ from repro.api import (
     scenarios_document,
     serve,
 )
-from repro.errors import ReproError
+from repro.cluster import BACKEND_CHOICES, backend_for
+from repro.errors import ConfigurationError, ReproError
 from repro.params.thermal_params import COOLING_CONFIGS
 from repro.testbed.platforms import PLATFORMS
 from repro.testbed.runner import run_homogeneous
@@ -150,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="parallel worker processes (results are order-deterministic)",
     )
+    _add_backend_flags(campaign)
     campaign.add_argument(
         "--export", default=None, metavar="PATH",
         help="also write the table as CSV to PATH",
@@ -171,28 +185,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="parallel worker processes (results are order-deterministic)",
     )
+    _add_backend_flags(s_run)
     s_run.add_argument(
         "--export", default=None, metavar="PATH",
         help="also write the table as CSV to PATH",
     )
     add_json_flag(s_run)
 
+    def add_serve_flags(command: argparse.ArgumentParser, default_port: int) -> None:
+        command.add_argument("--host", default="127.0.0.1")
+        command.add_argument(
+            "--port", type=int, default=default_port,
+            help="TCP port (0 binds an ephemeral port; see --port-file)",
+        )
+        command.add_argument(
+            "--port-file", default=None, metavar="PATH",
+            help="write the bound port to PATH once listening",
+        )
+        command.add_argument(
+            "--verbose", action="store_true", help="log each HTTP request"
+        )
+
     serve_cmd = sub.add_parser(
         "serve", help="serve the API over HTTP (see repro.api.service)"
     )
-    serve_cmd.add_argument("--host", default="127.0.0.1")
-    serve_cmd.add_argument(
-        "--port", type=int, default=8765,
-        help="TCP port (0 binds an ephemeral port; see --port-file)",
+    add_serve_flags(serve_cmd, default_port=8765)
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="run a campaign fleet worker (the /v1/worker HTTP routes an "
+        "HttpWorkerBackend coordinator dispatches cells to)",
     )
-    serve_cmd.add_argument(
-        "--port-file", default=None, metavar="PATH",
-        help="write the bound port to PATH once listening",
-    )
-    serve_cmd.add_argument(
-        "--verbose", action="store_true", help="log each HTTP request"
-    )
+    add_serve_flags(worker_cmd, default_port=9001)
     return parser
+
+
+def _add_backend_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--backend", default=None, choices=BACKEND_CHOICES,
+        help="where cells execute: local process pool (sized by --jobs), "
+        "serial (in-process), or http (a worker fleet); without the "
+        "flag, runs are serial unless --jobs > 1 builds a pool",
+    )
+    command.add_argument(
+        "--workers", default=None, metavar="URL[,URL...]",
+        help="comma-separated worker base URLs for --backend http "
+        "(start workers with 'python -m repro worker')",
+    )
+
+
+def _backend_from_args(args: argparse.Namespace):
+    """Build the borrowed execution backend the flags describe (or None)."""
+    workers = tuple(_split_csv_arg(args.workers)) if args.workers else ()
+    if args.backend is None:
+        if workers:
+            raise ConfigurationError("--workers requires --backend http")
+        return None
+    return backend_for(args.backend, jobs=args.jobs, workers=workers)
 
 
 def _print_json(document) -> None:
@@ -349,16 +398,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         copies=args.copies,
         jobs=args.jobs,
     )
-    client = ReproClient()
-    if args.json:
-        _print_json(results_document(list(client.run_campaign(request))))
-        if args.export:
-            # The cells are warm now, so the table pass is all hits.
-            headers, rows = client.campaign_table(request)
-            _export_csv(args.export, headers, rows, quiet=True)
-        return 0
-    headers, rows = client.campaign_table(request)
-    print(f"campaign {args.grid}: {len(rows)} runs\n")
+    return _run_grid_command(
+        args, request, run="run_campaign", table="campaign_table",
+        label=f"campaign {args.grid}",
+    )
+
+
+def _run_grid_command(
+    args: argparse.Namespace,
+    request,
+    *,
+    run: str,
+    table: str,
+    label: str,
+) -> int:
+    """Shared campaign/scenarios execution: backend wiring, JSON/table."""
+    with contextlib.ExitStack() as stack:
+        backend = _backend_from_args(args)
+        if backend is not None:
+            stack.enter_context(backend)
+        client = ReproClient(backend=backend)
+        if args.json:
+            _print_json(results_document(list(getattr(client, run)(request))))
+            if args.export:
+                # The cells are warm now, so the table pass is all hits
+                # served from the local store (no re-dispatch).
+                headers, rows = getattr(client, table)(request)
+                _export_csv(args.export, headers, rows, quiet=True)
+            return 0
+        headers, rows = getattr(client, table)(request)
+    print(f"{label}: {len(rows)} runs\n")
     print(format_table(headers, rows))
     _export_csv(args.export, headers, rows)
     return 0
@@ -387,17 +456,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     request = ScenarioRequest(
         names=tuple(args.names), copies=args.copies, jobs=args.jobs
     )
-    if args.json:
-        _print_json(results_document(list(client.run_scenarios(request))))
-        if args.export:
-            headers, rows = client.scenarios_table(request)
-            _export_csv(args.export, headers, rows, quiet=True)
-        return 0
-    headers, rows = client.scenarios_table(request)
-    print(f"scenarios: {len(rows)} runs\n")
-    print(format_table(headers, rows))
-    _export_csv(args.export, headers, rows)
-    return 0
+    return _run_grid_command(
+        args, request, run="run_scenarios", table="scenarios_table",
+        label="scenarios",
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -406,6 +468,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         port_file=args.port_file,
         verbose=args.verbose,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    return serve(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        verbose=args.verbose,
+        role="worker",
     )
 
 
@@ -420,6 +492,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "scenarios": _cmd_scenarios,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,507 @@
+"""The HTTP fleet coordinator: :class:`HttpWorkerBackend`.
+
+Shards a campaign's cells across worker processes speaking the existing
+``/v1`` JSON protocol (``python -m repro worker``).  Design points:
+
+- **Bounded in-flight dispatch** — ``slots_per_worker`` pump threads
+  per worker, each carrying at most one HTTP request, so a fleet of N
+  workers never holds more than ``N x slots_per_worker`` cells in
+  flight regardless of grid size.
+- **Per-cell retry with worker blacklisting** — a cell whose request
+  fails transiently (connection refused/reset, timeout, 5xx) is
+  requeued *excluding* the worker that failed it; a worker that fails
+  ``blacklist_after`` consecutive requests stops receiving work.  A
+  cell is abandoned (→ :class:`~repro.errors.ClusterError`) only after
+  ``max_attempts`` tries, and a 4xx response — the worker understood
+  the request and rejected the cell itself — fails the grid
+  immediately rather than burning retries.
+- **Heartbeat-based dead-worker requeue** — a background thread polls
+  each worker's ``/v1/worker/health``; a worker missing
+  ``dead_after_missed`` consecutive heartbeats is declared dead, its
+  pump threads stop pulling, and any cell it held in flight is requeued
+  onto the survivors as soon as its socket errors out.
+
+The coordinator never decodes payloads — it forwards the workers'
+encoded cell payloads (plus hit/compute-seconds provenance) back to the
+campaign, which re-publishes them into the shared
+:class:`~repro.campaign.ResultStore`.  That write-through is what makes
+a distributed run warm the very cache a later local run reads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Iterator, Sequence
+
+from repro.campaign.stores import ResultStore
+from repro.cluster.backends import Cell, CellResult, ExecutionBackend
+from repro.cluster.wire import cell_to_wire
+from repro.errors import ClusterError, ConfigurationError
+
+#: Exceptions that mean "this worker, this time" — retry elsewhere.
+_TRANSIENT_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
+
+
+def _normalize_worker_url(url: str) -> str:
+    url = url.strip().rstrip("/")
+    if not url:
+        raise ConfigurationError("worker URL must not be empty")
+    if "//" not in url:
+        url = f"http://{url}"
+    if not url.startswith(("http://", "https://")):
+        raise ConfigurationError(
+            f"worker URL must be http(s), got {url!r}"
+        )
+    return url
+
+
+class _Worker:
+    """Mutable per-worker dispatch state (guarded by the fleet lock)."""
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+        self.alive = True
+        self.consecutive_failures = 0
+        self.missed_heartbeats = 0
+        self.completed_cells = 0
+        #: Cells currently inside an HTTP request to this worker —
+        #: what the heartbeat rescues when the worker is declared dead.
+        self.in_flight: dict[str, "_PendingCell"] = {}
+
+
+class _PendingCell:
+    """One cell awaiting dispatch, with its retry history."""
+
+    def __init__(self, key: str, wire: dict) -> None:
+        self.key = key
+        self.wire = wire
+        self.attempts = 0
+        self.excluded: set[str] = set()
+
+
+class HttpWorkerBackend(ExecutionBackend):
+    """Coordinate a campaign across an HTTP worker fleet."""
+
+    name = "http"
+    in_process = False
+    #: Workers may live on other machines: the coordinator must assume
+    #: nothing about their caches and write every payload through the
+    #: campaign's own store.
+    shares_disk = False
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        *,
+        timeout_s: float = 300.0,
+        health_timeout_s: float = 3.0,
+        heartbeat_interval_s: float = 1.0,
+        dead_after_missed: int = 2,
+        slots_per_worker: int = 1,
+        max_attempts: int = 3,
+        blacklist_after: int = 2,
+    ) -> None:
+        urls = [_normalize_worker_url(url) for url in workers]
+        if not urls:
+            raise ConfigurationError(
+                "http backend needs at least one worker URL"
+            )
+        if len(set(urls)) != len(urls):
+            raise ConfigurationError(f"duplicate worker URLs in {urls}")
+        if slots_per_worker < 1:
+            raise ConfigurationError("slots_per_worker must be >= 1")
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        self.timeout_s = timeout_s
+        self.health_timeout_s = health_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.dead_after_missed = dead_after_missed
+        self.slots_per_worker = slots_per_worker
+        self.max_attempts = max_attempts
+        self.blacklist_after = blacklist_after
+        self._workers = [_Worker(url) for url in urls]
+        self._cond = threading.Condition()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._pending: deque[_PendingCell] = deque()
+        self._results: deque[CellResult] = deque()
+        self._remaining = 0
+        #: Keys already delivered.  A cell can legitimately execute
+        #: twice (heartbeat-rescued off a hung worker whose request
+        #: later completes anyway); only the first delivery counts.
+        self._done: set[str] = set()
+        self._fatal: ClusterError | None = None
+        #: Batch generation.  A pump thread from an abandoned batch may
+        #: survive inside a blocking request past the next submit; its
+        #: stale generation makes every later deliver/requeue a no-op.
+        self._generation = 0
+        self._closed = False
+
+    # -- protocol ----------------------------------------------------------
+
+    def submit_cells(
+        self, cells: Sequence[Cell], store: ResultStore | None = None
+    ) -> None:
+        """Encode cells onto the dispatch queue and start the pumps.
+
+        ``store`` is accepted for protocol parity but cannot cross the
+        wire: workers always execute against their *own* default store
+        stack, and the coordinator merges the returned payloads into
+        the campaign's store instead.
+        """
+        if self._closed:
+            raise ConfigurationError("backend is closed")
+        self._end_batch()
+        self._stop.clear()
+        with self._cond:
+            self._generation += 1
+            generation = self._generation
+            self._pending = deque(
+                _PendingCell(key, cell_to_wire(spec)) for key, spec in cells
+            )
+            self._results = deque()
+            self._remaining = len(self._pending)
+            self._done = set()
+            self._fatal = None
+            for worker in self._workers:
+                worker.alive = True
+                worker.consecutive_failures = 0
+                worker.missed_heartbeats = 0
+                worker.in_flight = {}
+        if self._remaining == 0:
+            return
+        self._threads = [
+            threading.Thread(
+                target=self._pump,
+                args=(worker, generation),
+                name=f"repro-fleet-pump-{index}-{slot}",
+                daemon=True,
+            )
+            for index, worker in enumerate(self._workers)
+            for slot in range(self.slots_per_worker)
+        ]
+        self._threads.append(
+            threading.Thread(
+                target=self._heartbeat,
+                args=(generation,),
+                name="repro-fleet-heartbeat",
+                daemon=True,
+            )
+        )
+        for thread in self._threads:
+            thread.start()
+
+    def iter_results(self) -> Iterator[CellResult]:
+        delivered = 0
+        with self._cond:
+            expected = self._remaining + len(self._results)
+        try:
+            while delivered < expected:
+                with self._cond:
+                    while not self._results and self._fatal is None:
+                        self._cond.wait(timeout=0.2)
+                    if self._fatal is not None and not self._results:
+                        raise self._fatal
+                    item = self._results.popleft()
+                delivered += 1
+                yield item
+        finally:
+            self._end_batch()
+
+    def close(self) -> None:
+        self._closed = True
+        self._end_batch()
+
+    # -- dispatch machinery ------------------------------------------------
+
+    def _end_batch(self) -> None:
+        """Stop pumps and heartbeat; safe to call repeatedly."""
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads = []
+
+    def _live_urls(self) -> set[str]:
+        return {w.url for w in self._workers if w.alive}
+
+    def _take(self, worker: _Worker, generation: int) -> _PendingCell | None:
+        """Next cell this worker may run; None when the pump should exit."""
+        with self._cond:
+            while True:
+                if (
+                    generation != self._generation
+                    or self._stop.is_set()
+                    or self._fatal is not None
+                    or not worker.alive
+                    or self._remaining <= 0
+                ):
+                    return None
+                for index, cell in enumerate(self._pending):
+                    if worker.url not in cell.excluded:
+                        del self._pending[index]
+                        worker.in_flight[cell.key] = cell
+                        return cell
+                # Nothing dispatchable to this worker.  A pending cell
+                # whose exclusion set covers every live worker can
+                # never be dispatched by anyone — the live set may have
+                # shrunk since it was requeued — so reopen it rather
+                # than spinning forever.
+                live = self._live_urls()
+                reopened = False
+                for cell in self._pending:
+                    if cell.excluded and live <= cell.excluded:
+                        cell.excluded.clear()
+                        reopened = True
+                if reopened:
+                    continue
+                self._cond.wait(timeout=0.2)
+
+    def _pump(self, worker: _Worker, generation: int) -> None:
+        """One dispatch slot: pull a cell, POST it, deliver or requeue."""
+        while True:
+            cell = self._take(worker, generation)
+            if cell is None:
+                return
+            try:
+                results = self._post_run(worker, cell)
+            except urllib.error.HTTPError as error:
+                body = self._error_body(error)
+                if 400 <= error.code < 500:
+                    # The worker parsed the request and rejected the
+                    # cell itself — retrying elsewhere cannot help.
+                    self._set_fatal(
+                        f"worker {worker.url} rejected cell {cell.key} "
+                        f"({error.code}): {body}",
+                        generation,
+                    )
+                else:
+                    self._requeue(worker, cell, f"{error.code}: {body}", generation)
+            except (*_TRANSIENT_ERRORS, ValueError) as error:
+                self._requeue(worker, cell, repr(error), generation)
+            except ClusterError as error:
+                self._requeue(worker, cell, str(error), generation)
+            except Exception as error:  # noqa: BLE001
+                # Anything unexpected (e.g. a version-skewed worker
+                # returning shapes _post_run didn't anticipate) must
+                # not kill this dispatch thread silently — that would
+                # strand the cell in flight and hang the grid.  Treat
+                # it like any other per-attempt failure: retry budget,
+                # then ClusterError.
+                self._requeue(worker, cell, repr(error), generation)
+            else:
+                self._deliver(worker, results, generation)
+
+    def _post_run(self, worker: _Worker, cell: _PendingCell) -> list[CellResult]:
+        request = urllib.request.Request(
+            f"{worker.url}/v1/worker/run",
+            data=json.dumps({"cells": [cell.wire]}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+            document = json.load(resp)
+        raw_results = document.get("results")
+        if not isinstance(raw_results, list) or len(raw_results) != 1:
+            raise ClusterError(
+                f"worker {worker.url} returned a malformed run document"
+            )
+        results: list[CellResult] = []
+        for raw in raw_results:
+            key = raw.get("key")
+            payload = raw.get("payload")
+            if not isinstance(key, str) or not isinstance(payload, dict):
+                raise ClusterError(
+                    f"worker {worker.url} returned a malformed cell result"
+                )
+            if key != cell.key:
+                raise ClusterError(
+                    f"worker {worker.url} answered cell {cell.key} "
+                    f"with key {key} — spec/worker version skew?"
+                )
+            results.append((
+                key,
+                payload,
+                raw.get("cache") == "hit",
+                float(raw.get("compute_seconds", 0.0)),
+            ))
+        return results
+
+    @staticmethod
+    def _error_body(error: urllib.error.HTTPError) -> str:
+        try:
+            raw = error.read().decode(errors="replace")
+        except OSError:
+            return error.reason or "?"
+        try:
+            return json.loads(raw).get("error", raw.strip())
+        except ValueError:
+            return raw.strip() or (error.reason or "?")
+
+    def _deliver(
+        self, worker: _Worker, results: list[CellResult], generation: int
+    ) -> None:
+        with self._cond:
+            if generation != self._generation:
+                return
+            worker.consecutive_failures = 0
+            for result in results:
+                key = result[0]
+                worker.in_flight.pop(key, None)
+                if key in self._done:
+                    # A heartbeat-rescued duplicate already delivered
+                    # this cell; drop the late copy.
+                    continue
+                self._done.add(key)
+                worker.completed_cells += 1
+                self._results.append(result)
+                self._remaining -= 1
+            self._cond.notify_all()
+
+    def _cell_is_active(self, cell: _PendingCell) -> bool:
+        """Whether ``cell`` is already queued or in flight elsewhere."""
+        if any(cell is queued for queued in self._pending):
+            return True
+        return any(
+            cell is held
+            for worker in self._workers
+            for held in worker.in_flight.values()
+        )
+
+    def _requeue(
+        self, worker: _Worker, cell: _PendingCell, why: str, generation: int
+    ) -> None:
+        with self._cond:
+            if generation != self._generation:
+                return
+            worker.in_flight.pop(cell.key, None)
+            worker.consecutive_failures += 1
+            if worker.consecutive_failures >= self.blacklist_after:
+                self._mark_worker_dead(worker, generation)
+            if cell.key in self._done or self._cell_is_active(cell):
+                # The heartbeat already rescued this cell off the dying
+                # worker (and it may even have finished elsewhere);
+                # this late failure only counts against the worker.
+                self._cond.notify_all()
+                return
+            cell.attempts += 1
+            if cell.attempts >= self.max_attempts:
+                self._fatal = ClusterError(
+                    f"cell {cell.key} failed after {cell.attempts} "
+                    f"attempts; last worker {worker.url}: {why}"
+                )
+            else:
+                cell.excluded.add(worker.url)
+                live = self._live_urls()
+                if not live:
+                    self._fatal = ClusterError(
+                        f"all workers are dead or blacklisted "
+                        f"(last failure on {worker.url}: {why})"
+                    )
+                else:
+                    if live <= cell.excluded:
+                        # Every live worker already failed this cell
+                        # once; let the retry budget, not the exclusion
+                        # set, decide when to give up.
+                        cell.excluded.clear()
+                    self._pending.append(cell)
+            self._cond.notify_all()
+
+    def _mark_worker_dead(self, worker: _Worker, generation: int) -> None:
+        """Stop dispatching to ``worker`` and rescue its in-flight cells.
+
+        The pump thread holding a request to a dead-but-hung worker may
+        stay blocked until its HTTP timeout; requeueing its cells here
+        lets the survivors pick them up immediately.  If the original
+        request does complete later, :meth:`_deliver` deduplicates.
+        """
+        with self._cond:
+            if generation != self._generation:
+                return
+            worker.alive = False
+            for key, cell in list(worker.in_flight.items()):
+                worker.in_flight.pop(key, None)
+                if key in self._done or self._cell_is_active(cell):
+                    continue
+                self._pending.append(cell)
+            self._cond.notify_all()
+
+    def _set_fatal(self, message: str, generation: int) -> None:
+        with self._cond:
+            if generation != self._generation:
+                return
+            self._fatal = ClusterError(message)
+            self._cond.notify_all()
+
+    # -- heartbeat ---------------------------------------------------------
+
+    def _heartbeat(self, generation: int) -> None:
+        while not self._stop.wait(self.heartbeat_interval_s):
+            with self._cond:
+                if (
+                    generation != self._generation
+                    or self._fatal is not None
+                    or self._remaining <= 0
+                ):
+                    return
+                workers = [w for w in self._workers if w.alive]
+            for worker in workers:
+                healthy = self._check_health(worker)
+                with self._cond:
+                    if generation != self._generation:
+                        return
+                    if healthy:
+                        worker.missed_heartbeats = 0
+                    else:
+                        worker.missed_heartbeats += 1
+                        if worker.missed_heartbeats >= self.dead_after_missed:
+                            self._mark_worker_dead(worker, generation)
+            with self._cond:
+                if generation != self._generation:
+                    return
+                if not self._live_urls() and self._remaining > 0:
+                    if self._fatal is None:
+                        self._fatal = ClusterError(
+                            "all workers stopped answering heartbeats"
+                        )
+                    self._cond.notify_all()
+                    return
+
+    def _check_health(self, worker: _Worker) -> bool:
+        try:
+            with urllib.request.urlopen(
+                f"{worker.url}/v1/worker/health",
+                timeout=self.health_timeout_s,
+            ) as resp:
+                document = json.load(resp)
+        except (*_TRANSIENT_ERRORS, ValueError):
+            return False
+        return document.get("status") == "ok"
+
+    # -- introspection -----------------------------------------------------
+
+    def fleet_stats(self) -> list[dict]:
+        """Per-worker dispatch counters (for logs, tests, and the CLI)."""
+        with self._cond:
+            return [
+                {
+                    "url": w.url,
+                    "alive": w.alive,
+                    "completed_cells": w.completed_cells,
+                    "consecutive_failures": w.consecutive_failures,
+                }
+                for w in self._workers
+            ]

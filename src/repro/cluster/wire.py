@@ -1,0 +1,77 @@
+"""The cell wire format — how run specs cross process and HTTP borders.
+
+A *cell* is one deduplicated campaign unit: a run spec plus its cache
+key.  The coordinator serializes cells to plain JSON objects, ships
+them to workers over the existing ``/v1`` JSON protocol, and the worker
+rebuilds the identical frozen spec dataclass from the registered spec
+type (:func:`repro.campaign.spec.register_spec_type`) — so a cell
+computed remotely lands in the cache under exactly the key a local run
+would have used.
+
+Wire shape::
+
+    {"wire_version": 1, "kind": "ch4", "fields": {"mix": "W1", ...}}
+
+Only JSON-scalar spec fields survive the trip (every registered spec
+kind — ``ch4``, ``ch5``, and the scenario-lowered cells — satisfies
+this).  ``cell_from_wire`` re-validates through the spec dataclass's
+own ``__post_init__``, so a malformed or hostile payload fails with a
+:class:`~repro.errors.ConfigurationError`, never a partial spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping
+
+from repro.campaign.spec import RunSpec, spec_type_for
+from repro.errors import ConfigurationError
+
+#: Bump when the cell wire shape changes incompatibly.  A worker that
+#: receives a foreign version rejects the request outright rather than
+#: guessing at fields.
+WIRE_VERSION = 1
+
+
+def cell_to_wire(spec: RunSpec) -> dict:
+    """Serialize one run spec to its JSON wire object."""
+    if not is_dataclass(spec):
+        raise ConfigurationError(
+            f"only dataclass specs can cross the wire, "
+            f"got {type(spec).__name__}"
+        )
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": spec.kind,
+        "fields": asdict(spec),
+    }
+
+
+def cell_from_wire(raw: Mapping[str, Any]) -> RunSpec:
+    """Rebuild a run spec from its wire object (inverse of to_wire)."""
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"wire cell must be a JSON object, got {type(raw).__name__}"
+        )
+    version = raw.get("wire_version", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise ConfigurationError(
+            f"unsupported cell wire_version {version!r} "
+            f"(this worker speaks {WIRE_VERSION})"
+        )
+    kind = raw.get("kind")
+    if not isinstance(kind, str):
+        raise ConfigurationError("wire cell is missing its 'kind' tag")
+    fields = raw.get("fields")
+    if not isinstance(fields, Mapping):
+        raise ConfigurationError(
+            f"wire cell for kind {kind!r} needs a 'fields' object"
+        )
+    cls = spec_type_for(kind)
+    try:
+        spec = cls(**{str(name): value for name, value in fields.items()})
+    except TypeError as error:
+        raise ConfigurationError(
+            f"cannot rebuild {kind!r} cell from wire fields: {error}"
+        ) from None
+    return spec

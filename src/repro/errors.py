@@ -43,3 +43,13 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """A simulation run failed to make progress or exceeded its horizon."""
+
+
+class ClusterError(ReproError):
+    """Distributed campaign execution failed (workers dead, cell rejected,
+    or retries exhausted).
+
+    Raised by the :mod:`repro.cluster` coordinator; transient worker
+    failures are retried and blacklisted internally, so seeing this
+    exception means the fleet as a whole could not complete the grid.
+    """

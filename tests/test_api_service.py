@@ -9,9 +9,11 @@ import urllib.request
 
 import pytest
 
+from repro.analysis.specs import Chapter4Spec, run_result_from_dict
 from repro.api import SCHEMA_VERSION, ReproClient, ReproService, ResultEnvelope
 from repro.api import service as service_module
 from repro.cli import main
+from repro.cluster import WIRE_VERSION, cell_to_wire
 
 
 @pytest.fixture(scope="module")
@@ -107,6 +109,60 @@ def test_scenarios_run_route(service):
     assert document["results"][0]["scenario"] == "cold-aisle"
 
 
+def test_worker_health_route(service):
+    status, document = _get(service, "/v1/worker/health")
+    assert status == 200
+    assert document["status"] == "ok"
+    assert document["role"] == "api"  # `repro worker` reports "worker"
+    assert document["wire_version"] == WIRE_VERSION
+    assert {"ch4", "ch5"} <= set(document["kinds"])
+    assert document["pid"] > 0
+
+
+def test_worker_run_route_executes_wire_cells(service):
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1)
+    status, document = _post(
+        service, "/v1/worker/run", {"cells": [cell_to_wire(spec)]}
+    )
+    assert status == 200
+    assert document["schema_version"] == SCHEMA_VERSION
+    (result,) = document["results"]
+    assert result["key"] == spec.key()
+    assert result["kind"] == "ch4"
+    assert result["cache"] in ("hit", "miss")
+    restored = run_result_from_dict(result["payload"])
+    assert restored.runtime_s > 0
+    # A repeat dispatch hits the worker's own cache.
+    _, again = _post(
+        service, "/v1/worker/run", {"cells": [cell_to_wire(spec)]}
+    )
+    assert again["results"][0]["cache"] == "hit"
+    assert again["results"][0]["compute_seconds"] == 0.0
+
+
+def test_worker_route_errors(service):
+    code, body = _error(service, "/v1/worker/run", data=b"{}")
+    assert code == 400 and "non-empty 'cells'" in body["error"]
+    code, body = _error(
+        service, "/v1/worker/run", data=b'{"cells": [], "x": 1}'
+    )
+    assert code == 400 and "non-empty 'cells'" in body["error"]
+    code, body = _error(
+        service, "/v1/worker/run",
+        data=json.dumps({"cells": [1], "extra": True}).encode(),
+    )
+    assert code == 400 and "unknown worker run fields" in body["error"]
+    code, body = _error(
+        service, "/v1/worker/run",
+        data=json.dumps({"cells": [{"kind": "nope", "fields": {}}]}).encode(),
+    )
+    assert code == 400 and "no spec type" in body["error"]
+    code, body = _error(service, "/v1/worker/run")
+    assert code == 405 and "use POST" in body["error"]
+    code, body = _error(service, "/v1/worker/health", data=b"{}")
+    assert code == 405 and "use GET" in body["error"]
+
+
 def test_jobs_rejected_over_http(service):
     code, body = _error(service, "/v1/campaign?grid=ch4&mixes=W1&policies=ts&copies=1&jobs=4")
     assert code == 400 and "jobs is not supported over HTTP" in body["error"]
@@ -187,3 +243,14 @@ def test_cli_serve_subcommand(tmp_path, monkeypatch, capsys):
     assert main(["serve", "--port", "0", "--port-file", str(port_file)]) == 0
     assert port_file.exists()
     assert "serving repro API" in capsys.readouterr().out
+
+
+def test_cli_worker_subcommand(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(
+        ReproService, "serve_forever",
+        lambda self, *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+    )
+    port_file = tmp_path / "port"
+    assert main(["worker", "--port", "0", "--port-file", str(port_file)]) == 0
+    assert int(port_file.read_text()) > 0
+    assert "serving repro worker" in capsys.readouterr().out

@@ -1,6 +1,9 @@
 """Campaign engine: stores, runner registry, sweeps, parallel execution."""
 
 import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -189,6 +192,85 @@ def test_json_dir_store_ignores_corrupt_files(tmp_path):
     path.parent.mkdir(parents=True)
     path.write_text('{"half": ')
     assert store.get(key) is None
+
+
+def test_json_dir_store_stats(tmp_path):
+    store = JsonDirStore(tmp_path)
+    assert store.stats() == {
+        "root": str(tmp_path), "entries": 0, "bytes": 0, "shards": 0,
+    }
+    for index in range(5):
+        store.put(f"test-square-stats{index:015d}", {"index": index})
+    stats = store.stats()
+    assert stats["entries"] == 5
+    assert stats["bytes"] > 0
+    assert 1 <= stats["shards"] <= 5
+    # Legacy flat-layout entries count too.
+    (tmp_path / "test-square-legacy000000.json").write_text("{}")
+    assert store.stats()["entries"] == 6
+
+
+def test_json_dir_store_prune_evicts_oldest_first(tmp_path):
+    store = JsonDirStore(tmp_path)
+    keys = [f"test-square-prune{index:015d}" for index in range(5)]
+    now = time.time()
+    for age, key in enumerate(keys):
+        store.put(key, {"key": key})
+        # Deterministic mtimes: keys[0] oldest ... keys[4] newest.
+        stamp = now - (len(keys) - age) * 100
+        os.utime(store._path(key), (stamp, stamp))
+    assert store.prune(3) == 2
+    assert store.get(keys[0]) is None and store.get(keys[1]) is None
+    for key in keys[2:]:
+        assert store.get(key) == {"key": key}
+    assert store.stats()["entries"] == 3
+    assert store.prune(3) == 0  # already within budget
+    assert store.prune(0) == 3  # evict everything
+    assert store.stats()["entries"] == 0
+    with pytest.raises(ValueError):
+        store.prune(-1)
+
+
+def _hammer_store(root: str, writer: int, keys: list[str]) -> int:
+    """Multi-process store worker: write/read loop, count torn reads."""
+    store = JsonDirStore(root)
+    torn = 0
+    for round_index in range(25):
+        for key in keys:
+            store.put(
+                key,
+                {"writer": writer, "round": round_index, "blob": "x" * 512},
+            )
+            payload = store.get(key)
+            if payload is None:
+                # A concurrent os.replace never unlinks the target, so
+                # a published key must always read back whole.
+                torn += 1
+            elif (
+                set(payload) != {"writer", "round", "blob"}
+                or len(payload["blob"]) != 512
+            ):
+                torn += 1
+    return torn
+
+
+def test_json_dir_store_concurrent_writers_never_tear_or_lose(tmp_path):
+    """Four processes hammering four shared keys: atomic-replace means
+    every read sees a complete payload and every key survives."""
+    keys = [f"test-square-conc{index:016d}" for index in range(4)]
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        futures = [
+            pool.submit(_hammer_store, str(tmp_path), writer, keys)
+            for writer in range(4)
+        ]
+        torn = sum(future.result() for future in futures)
+    assert torn == 0
+    store = JsonDirStore(tmp_path)
+    for key in keys:
+        payload = store.get(key)
+        assert payload is not None and len(payload["blob"]) == 512
+    assert store.stats()["entries"] == len(keys)
+    assert not list(tmp_path.rglob("*.tmp.*"))
 
 
 def test_tiered_store_backfills_front_layers(tmp_path):

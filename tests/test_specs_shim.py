@@ -1,0 +1,54 @@
+"""The ``repro.analysis.experiments`` → ``repro.analysis.specs`` shim.
+
+The old import path must keep working (symbols re-exported intact) and
+must warn about its deprecation exactly once — on first import, never
+again on cached re-imports.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import():
+    sys.modules.pop("repro.analysis.experiments", None)
+    return importlib.import_module("repro.analysis.experiments")
+
+
+def test_shim_warns_exactly_once_on_first_import():
+    with pytest.warns(DeprecationWarning) as records:
+        _fresh_import()
+    matching = [
+        record for record in records
+        if "repro.analysis.experiments is deprecated" in str(record.message)
+    ]
+    assert len(matching) == 1
+    # The message points at both migration targets.
+    message = str(matching[0].message)
+    assert "repro.api" in message and "repro.analysis.specs" in message
+
+
+def test_shim_cached_reimport_does_not_warn_again():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        _fresh_import()  # ensure the module is in sys.modules
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        importlib.import_module("repro.analysis.experiments")
+
+
+def test_shim_reexports_every_specs_symbol_intact():
+    specs = importlib.import_module("repro.analysis.specs")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = _fresh_import()
+    assert list(shim.__all__) == list(specs.__all__)
+    for name in specs.__all__:
+        assert getattr(shim, name) is getattr(specs, name), name
+    # The shimmed spec classes are the real ones: same runner registry,
+    # same cache keys.
+    assert shim.Chapter4Spec(copies=1).key() == specs.Chapter4Spec(copies=1).key()

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR4.json``.
+
+This is the start of the repo's bench trajectory: one small, fast,
+deterministic-in-shape bundle that CI runs on every push and uploads as
+an artifact, so regressions in the hot paths show up as a diffable JSON
+file instead of anecdotes.  Current probes:
+
+- ``fig4_3_cell`` — wall time of one Fig. 4.3 simulation cell
+  (W1/ts), uncached, best of ``--repeats``.
+- ``kernel_window_stream`` — the batched thermal kernel vs the scalar
+  one on an identical window stream (the PR 2 speedup, tracked).
+- ``campaign_grid_serial`` / ``campaign_grid_fleet2`` — a small ch4
+  campaign grid run cold through the in-process ``SerialBackend`` vs
+  an ``HttpWorkerBackend`` over a 2-worker :class:`LocalFleet`,
+  measuring the scale-out path end to end (worker boot excluded).
+
+Usage::
+
+    PYTHONPATH=src python tools/run_benches.py [--output PATH]
+        [--repeats N] [--skip-fleet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.specs import Chapter4Spec  # noqa: E402
+from repro.campaign import Campaign, MemoryStore, NullStore, run_payload  # noqa: E402
+from repro.cluster import HttpWorkerBackend, LocalFleet  # noqa: E402
+from repro.core.kernel import BatchedMemSpot  # noqa: E402
+from repro.core.memspot import MemSpot  # noqa: E402
+from repro.params.thermal_params import AOHS_1_5, ISOLATED_AMBIENT  # noqa: E402
+
+#: The campaign grid both execution paths run (cold, copies=1): all
+#: eight Fig. 4.3 schemes, enough cells to amortize per-worker model
+#: warm-up across the fleet.
+GRID_POLICIES = (
+    "no-limit", "ts", "bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid",
+)
+
+
+def _grid_specs() -> list[Chapter4Spec]:
+    return [
+        Chapter4Spec(mix="W1", policy=policy, copies=1)
+        for policy in GRID_POLICIES
+    ]
+
+
+def bench_fig4_3_cell(repeats: int) -> dict:
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1)
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_payload(spec, NullStore())
+        samples.append(time.perf_counter() - started)
+    return {
+        "description": "one uncached Fig. 4.3 cell (W1/ts, copies=1)",
+        "best_seconds": round(min(samples), 4),
+        "samples_seconds": [round(s, 4) for s in samples],
+    }
+
+
+def bench_kernel_window_stream(repeats: int) -> dict:
+    rng = random.Random(1234)
+    windows = [
+        (rng.random() * 2.2e10, rng.random() * 1.1e10, rng.random() * 8.0)
+        for _ in range(5_000)
+    ]
+
+    def drive(memspot) -> float:
+        started = time.perf_counter()
+        for read_bps, write_bps, heating in windows:
+            memspot.step(read_bps, write_bps, heating, 0.01)
+        return time.perf_counter() - started
+
+    scalar = min(
+        drive(MemSpot(AOHS_1_5, ISOLATED_AMBIENT)) for _ in range(repeats)
+    )
+    batched = min(
+        drive(BatchedMemSpot(AOHS_1_5, ISOLATED_AMBIENT))
+        for _ in range(repeats)
+    )
+    return {
+        "description": "5k-window thermal kernel stream, scalar vs batched",
+        "scalar_seconds": round(scalar, 4),
+        "batched_seconds": round(batched, 4),
+        "speedup": round(scalar / batched, 3),
+    }
+
+
+def bench_campaign_grid_serial() -> dict:
+    specs = _grid_specs()
+    started = time.perf_counter()
+    results = Campaign(specs, store=MemoryStore()).run()
+    elapsed = time.perf_counter() - started
+    return {
+        "description": f"cold ch4 grid, {len(specs)} cells, SerialBackend",
+        "cells": len(results),
+        "seconds": round(elapsed, 4),
+    }
+
+
+def bench_campaign_grid_fleet(workers: int = 2) -> dict:
+    specs = _grid_specs()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as cache:
+        with LocalFleet(workers, env={"REPRO_CACHE_DIR": cache}) as fleet:
+            with HttpWorkerBackend(fleet.urls) as backend:
+                started = time.perf_counter()
+                results = Campaign(
+                    specs, store=MemoryStore(), backend=backend
+                ).run()
+                elapsed = time.perf_counter() - started
+    return {
+        "description": (
+            f"cold ch4 grid, {len(specs)} cells, HttpWorkerBackend "
+            f"over {workers} LocalFleet workers"
+        ),
+        "cells": len(results),
+        "workers": workers,
+        "seconds": round(elapsed, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_PR4.json"), metavar="PATH"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--skip-fleet", action="store_true",
+        help="skip the 2-worker fleet bench (e.g. sandboxes without "
+        "subprocess networking)",
+    )
+    args = parser.parse_args(argv)
+
+    benches: dict[str, dict] = {}
+    print("bench: fig4_3_cell ...", flush=True)
+    benches["fig4_3_cell"] = bench_fig4_3_cell(args.repeats)
+    print("bench: kernel_window_stream ...", flush=True)
+    benches["kernel_window_stream"] = bench_kernel_window_stream(args.repeats)
+    print("bench: campaign_grid_serial ...", flush=True)
+    benches["campaign_grid_serial"] = bench_campaign_grid_serial()
+    if not args.skip_fleet:
+        print("bench: campaign_grid_fleet2 ...", flush=True)
+        benches["campaign_grid_fleet2"] = bench_campaign_grid_fleet()
+        serial_s = benches["campaign_grid_serial"]["seconds"]
+        fleet_s = benches["campaign_grid_fleet2"]["seconds"]
+        benches["campaign_grid_fleet2"]["speedup_vs_serial"] = round(
+            serial_s / fleet_s, 3
+        )
+
+    document = {
+        "schema_version": "1.0",
+        "generated_by": "tools/run_benches.py",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        # Interpret fleet-vs-serial with this in hand: on a one-core
+        # box the fleet can only add overhead; the speedup is real on
+        # multi-core runners.
+        "cpu_count": os.cpu_count(),
+        "benches": benches,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    for name, bench in benches.items():
+        headline = bench.get(
+            "seconds", bench.get("best_seconds", bench.get("batched_seconds"))
+        )
+        extra = (
+            f" (speedup {bench['speedup']}x)" if "speedup" in bench else ""
+        ) + (
+            f" (speedup vs serial {bench['speedup_vs_serial']}x)"
+            if "speedup_vs_serial" in bench
+            else ""
+        )
+        print(f"  {name}: {headline}s{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
