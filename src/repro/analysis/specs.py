@@ -182,8 +182,8 @@ def _shared_window_model(envelope: MemoryEnvelope | None = None) -> WindowModel:
     return model
 
 
-def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
-    """Simulate one Chapter 4 spec (no caching — the engine provides it)."""
+def _chapter4_engine(spec: Chapter4Spec, extra_observers: tuple = ()):
+    """A stepping engine for one Chapter 4 spec (checkpoint/slice surface)."""
     if spec.cooling not in COOLING_CONFIGS:
         raise ConfigurationError(f"unknown cooling {spec.cooling!r}")
     ambient = ISOLATED_AMBIENT if spec.ambient == "isolated" else INTEGRATED_AMBIENT
@@ -218,9 +218,15 @@ def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
     policy = make_chapter4_policy(
         spec.policy, amb_trp_c=spec.amb_trp_c, dram_trp_c=spec.dram_trp_c
     )
-    return TwoLevelSimulator(
+    simulator = TwoLevelSimulator(
         config, policy, window_model=_shared_window_model(envelope)
-    ).run()
+    )
+    return simulator.engine(extra_observers=extra_observers)
+
+
+def _execute_chapter4(spec: Chapter4Spec) -> RunResult:
+    """Simulate one Chapter 4 spec (no caching — the engine provides it)."""
+    return _chapter4_engine(spec).run_to_completion()
 
 
 def run_chapter4(spec: Chapter4Spec) -> RunResult:
@@ -284,8 +290,8 @@ def make_chapter5_policy(name: str, platform: ServerPlatform) -> DTMPolicy:
     raise ConfigurationError(f"unknown Chapter 5 policy {name!r}")
 
 
-def _execute_chapter5(spec: Chapter5Spec) -> ServerRunResult:
-    """Measure one Chapter 5 spec (no caching — the engine provides it)."""
+def _chapter5_engine(spec: Chapter5Spec, extra_observers: tuple = ()):
+    """A stepping engine for one Chapter 5 spec (checkpoint/slice surface)."""
     platform = _platform_for(spec)
     model_key = f"{spec.platform}|{spec.amb_tdp_c}"
     model = _server_models.get(model_key)
@@ -303,7 +309,12 @@ def _execute_chapter5(spec: Chapter5Spec) -> ServerRunResult:
         window_model=model,
         base_frequency_level=spec.base_frequency_level,
     )
-    return simulator.run()
+    return simulator.engine(extra_observers=extra_observers)
+
+
+def _execute_chapter5(spec: Chapter5Spec) -> ServerRunResult:
+    """Measure one Chapter 5 spec (no caching — the engine provides it)."""
+    return _chapter5_engine(spec).run_to_completion()
 
 
 def run_chapter5(spec: Chapter5Spec) -> ServerRunResult:
@@ -373,6 +384,7 @@ register_runner(
     encode=run_result_to_dict,
     decode=run_result_from_dict,
     spec_type=Chapter4Spec,
+    make_engine=_chapter4_engine,
 )
 register_runner(
     "ch5",
@@ -380,4 +392,5 @@ register_runner(
     encode=server_result_to_dict,
     decode=server_result_from_dict,
     spec_type=Chapter5Spec,
+    make_engine=_chapter5_engine,
 )

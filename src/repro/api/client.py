@@ -19,7 +19,9 @@ consumer can stream a large grid without holding it in memory.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict
+from pathlib import Path
 from typing import Any, Iterator
 
 from repro.api.envelope import Provenance, ResultEnvelope
@@ -35,10 +37,15 @@ from repro.campaign import (
     Campaign,
     ResultStore,
     RunSpec,
+    cached_payload,
     default_store,
+    engine_for_spec,
     run_cached,
     run_payload,
+    runner_for,
 )
+from repro.engine import CheckpointFile, CheckpointObserver, EngineState
+from repro.engine.progress import PROGRESS
 from repro.scenarios import iter_scenarios
 
 
@@ -155,6 +162,143 @@ class ReproClient:
         the coordinator to merge into its own store.
         """
         return run_payload(spec, self._store)
+
+    def run_cell_slice(
+        self,
+        spec: RunSpec,
+        window_slice: int,
+        resume_state: dict | None = None,
+    ) -> dict:
+        """Run at most ``window_slice`` DTM windows of one cell.
+
+        The time-sliced ``/v1/worker/run`` path.  A cached cell is
+        served as a hit; otherwise the cell's stepping engine runs one
+        slice — resumed from ``resume_state`` (a serialized
+        :class:`~repro.engine.EngineState`) when the coordinator has a
+        checkpoint from an earlier slice.  Returns the wire-shaped cell
+        result: either a completed entry (``payload`` + provenance) or
+        a partial entry (``partial: true`` + the new checkpoint
+        ``state``), both carrying ``windows_done``/``resumed_from`` so
+        coordinators can prove a resume was warm.  A cache hit reports
+        both as 0 — no windows executed; ``cache == "hit"`` is the
+        discriminator.
+        """
+        key = spec.key()
+        entry: dict[str, Any] = {"key": key, "kind": spec.kind}
+        payload = cached_payload(spec, self._store)
+        if payload is not None:
+            entry.update(
+                payload=payload,
+                cache="hit",
+                compute_seconds=0.0,
+                windows_done=0,
+                resumed_from=0,
+            )
+            return entry
+        engine = engine_for_spec(spec)
+        resumed_from = 0
+        started = time.perf_counter()
+        with PROGRESS.track(key):
+            if resume_state is not None:
+                engine.restore(EngineState.from_dict(resume_state))
+                resumed_from = engine.windows
+            engine.step_windows(window_slice)
+            seconds = time.perf_counter() - started
+            entry.update(
+                windows_done=engine.windows,
+                resumed_from=resumed_from,
+                compute_seconds=round(seconds, 6),
+            )
+            if not engine.done:
+                entry.update(partial=True, state=engine.checkpoint().to_dict())
+                return entry
+            result = engine.finish()
+        payload = runner_for(spec.kind).encode(result)
+        store = default_store() if self._store is None else self._store
+        store.put(key, payload)
+        entry.update(payload=payload, cache="miss")
+        return entry
+
+    # -- resumable runs ----------------------------------------------------
+
+    def simulate_resumable(
+        self,
+        request: SimulateRequest,
+        *,
+        checkpoint_dir: str | Path,
+        checkpoint_every: int = 2000,
+        resume: bool = False,
+    ) -> ResultEnvelope:
+        """Run one Chapter 4 cell with periodic on-disk checkpoints.
+
+        The run writes an atomic checkpoint every ``checkpoint_every``
+        DTM windows under ``checkpoint_dir`` (named by the spec's cache
+        key) and removes it on completion.  With ``resume=True`` an
+        existing checkpoint is restored first, so only the remaining
+        windows execute — the result is bit-identical to an
+        uninterrupted run.  The finished payload is written through
+        this client's store like any other run; an already-cached cell
+        short-circuits (unless resuming) exactly like :meth:`simulate`.
+        """
+        return self._run_resumable(
+            request.spec(), request_to_dict(request),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+
+    def server_resumable(
+        self,
+        request: ServerRequest,
+        *,
+        checkpoint_dir: str | Path,
+        checkpoint_every: int = 2000,
+        resume: bool = False,
+    ) -> ResultEnvelope:
+        """Run one Chapter 5 cell with periodic on-disk checkpoints
+        (see :meth:`simulate_resumable`)."""
+        return self._run_resumable(
+            request.spec(), request_to_dict(request),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+
+    def _run_resumable(
+        self,
+        spec: RunSpec,
+        echo: dict,
+        *,
+        checkpoint_dir: str | Path,
+        checkpoint_every: int,
+        resume: bool,
+    ) -> ResultEnvelope:
+        key = spec.key()
+        checkpoint = CheckpointFile(
+            Path(checkpoint_dir) / f"{key}.checkpoint.json"
+        )
+        if not resume:
+            payload = cached_payload(spec, self._store)
+            if payload is not None:
+                result = runner_for(spec.kind).decode(payload)
+                return self._envelope(spec, result, True, 0.0, echo)
+        observer = CheckpointObserver(checkpoint, every_windows=checkpoint_every)
+        engine = engine_for_spec(spec, extra_observers=(observer,))
+        if resume and checkpoint.exists():
+            engine.restore(checkpoint.load())
+        started = time.perf_counter()
+        with PROGRESS.track(key):
+            result = engine.run_to_completion()
+        seconds = time.perf_counter() - started
+        runner = runner_for(spec.kind)
+        payload = runner.encode(result)
+        store = default_store() if self._store is None else self._store
+        store.put(key, payload)
+        # Hand back the decode of the stored payload — the same shape a
+        # cached or campaign-computed call returns.
+        return self._envelope(
+            spec, runner.decode(payload), False, seconds, echo
+        )
 
     # -- scenario library --------------------------------------------------
 

@@ -23,6 +23,15 @@ Routes (v1):
   encoded payloads with cache provenance.  Cells run against this
   worker's own store stack, so repeat dispatches are cache hits here
   even before the coordinator merges payloads into its shared store.
+  With ``window_slice`` in the body each cell runs at most that many
+  DTM windows, resuming from the coordinator-supplied ``resume``
+  checkpoints; unfinished cells come back as ``partial`` entries
+  carrying a fresh :class:`~repro.engine.EngineState`.
+- ``GET  /v1/progress``             — live progress snapshots of the
+  engine runs executing in this process (``?key=`` filters to one
+  cell), fed by the engines' progress observers.  Covers runs started
+  by any route of this service *and* sliced worker cells, so a
+  coordinator can watch its fleet warm up cell by cell.
 
 GET passes axes as query parameters (comma-separated lists, e.g.
 ``?grid=ch4&mixes=W1,W2&policies=ts,acg``); POST passes a JSON object
@@ -53,6 +62,7 @@ from repro.api.envelope import (
 from repro.api.requests import request_from_dict
 from repro.campaign import spec_kinds_with_types
 from repro.cluster.wire import WIRE_VERSION, cell_from_wire
+from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError, ReproError
 
 #: Query parameters parsed as integers.
@@ -137,6 +147,8 @@ class _Handler(BaseHTTPRequestHandler):
             if url.path == "/v1/scenarios":
                 params = _params_from_query(url.query)
                 self._list_scenarios(params)
+            elif url.path == "/v1/progress":
+                self._progress(_params_from_query(url.query))
             elif url.path == "/v1/worker/health":
                 self._worker_health()
             elif url.path == "/v1/worker/run":
@@ -158,6 +170,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._worker_run(self._read_json_body())
             elif url.path == "/v1/worker/health":
                 self._error(405, "use GET for /v1/worker/health")
+            elif url.path == "/v1/progress":
+                self._error(405, "use GET for /v1/progress")
             elif url.path == "/v1/scenarios":
                 self._error(405, "use GET for /v1/scenarios")
             else:
@@ -183,6 +197,18 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._respond(200, scenarios_document(descriptors))
 
+    def _progress(self, params: dict) -> None:
+        """Live engine-run snapshots from the process-wide broker."""
+        unknown = set(params) - {"key"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown progress parameters {sorted(unknown)}"
+            )
+        self._respond(200, {
+            "schema_version": SCHEMA_VERSION,
+            "runs": PROGRESS.snapshot(params.get("key")),
+        })
+
     def _worker_health(self) -> None:
         """The fleet heartbeat probe: alive, and what this worker can run."""
         self._respond(200, {
@@ -206,22 +232,41 @@ class _Handler(BaseHTTPRequestHandler):
             raise ConfigurationError(
                 "worker run body needs a non-empty 'cells' list"
             )
-        unknown = set(body) - {"cells"}
+        unknown = set(body) - {"cells", "window_slice", "resume"}
         if unknown:
             raise ConfigurationError(
                 f"unknown worker run fields {sorted(unknown)}"
             )
+        window_slice = body.get("window_slice")
+        if window_slice is not None and (
+            not isinstance(window_slice, int) or window_slice < 1
+        ):
+            raise ConfigurationError(
+                "window_slice must be a positive integer"
+            )
+        resume = body.get("resume") or {}
+        if not isinstance(resume, dict):
+            raise ConfigurationError(
+                "worker run 'resume' must map cell keys to engine states"
+            )
         results = []
         for raw in cells:
             spec = cell_from_wire(raw)
-            payload, hit, seconds = self.server.client.run_cell_payload(spec)
-            results.append({
-                "key": spec.key(),
-                "kind": spec.kind,
-                "payload": payload,
-                "cache": "hit" if hit else "miss",
-                "compute_seconds": round(seconds, 6),
-            })
+            if window_slice is None:
+                payload, hit, seconds = self.server.client.run_cell_payload(spec)
+                results.append({
+                    "key": spec.key(),
+                    "kind": spec.kind,
+                    "payload": payload,
+                    "cache": "hit" if hit else "miss",
+                    "compute_seconds": round(seconds, 6),
+                })
+            else:
+                results.append(
+                    self.server.client.run_cell_slice(
+                        spec, window_slice, resume.get(spec.key())
+                    )
+                )
         self._respond(
             200, {"schema_version": SCHEMA_VERSION, "results": results}
         )

@@ -11,11 +11,19 @@ this package knows nothing about thermal simulation — only how to
 execute, cache, and order runs.
 """
 
-from repro.campaign.engine import Campaign, run, run_cached, run_payload, sweep
+from repro.campaign.engine import (
+    Campaign,
+    cached_payload,
+    run,
+    run_cached,
+    run_payload,
+    sweep,
+)
 from repro.campaign.spec import (
     CACHE_VERSION,
     Runner,
     RunSpec,
+    engine_for_spec,
     register_runner,
     register_spec_type,
     registered_kinds,
@@ -38,6 +46,7 @@ from repro.campaign.stores import (
 
 __all__ = [
     "Campaign",
+    "cached_payload",
     "run",
     "run_cached",
     "run_payload",
@@ -45,6 +54,7 @@ __all__ = [
     "CACHE_VERSION",
     "Runner",
     "RunSpec",
+    "engine_for_spec",
     "register_runner",
     "register_spec_type",
     "registered_kinds",

@@ -23,6 +23,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.campaign.spec import RunSpec, runner_for
 from repro.campaign.stores import GLOBAL_MEMORY, ResultStore, default_store
+from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError
 
 #: Per-process memo of decoded results, so repeated cache hits don't
@@ -67,7 +68,11 @@ def _payload_and_result(
         if result is not None:
             return payload, result, True, 0.0
     started = time.perf_counter()
-    fresh = runner.execute(spec)
+    # Label the execution with its cache key so engine-hosted runs
+    # surface live snapshots under /v1/progress (no-op for consumers
+    # that never read the broker).
+    with PROGRESS.track(key):
+        fresh = runner.execute(spec)
     compute_seconds = time.perf_counter() - started
     payload = runner.encode(fresh)
     store.put(key, payload)
@@ -82,6 +87,24 @@ def _payload_and_result(
         )
     _DECODE_MEMO[key] = result
     return payload, result, False, compute_seconds
+
+
+def cached_payload(spec: RunSpec, store: ResultStore | None = None) -> dict | None:
+    """The spec's stored payload, or None when absent or stale-schema.
+
+    The decodability check mirrors :func:`_payload_and_result`: a
+    payload written under an older result schema reads as a miss, so
+    callers (the time-sliced worker path) recompute instead of
+    forwarding undecodable bytes to a coordinator.
+    """
+    store = default_store() if store is None else store
+    key = spec.key()
+    payload = store.get(key)
+    if payload is None:
+        return None
+    if _decode_cached(spec.kind, key, payload) is None:
+        return None
+    return payload
 
 
 def run(spec: RunSpec, store: ResultStore | None = None) -> Any:

@@ -61,7 +61,7 @@ def spec_key(spec: RunSpec) -> str:
 
 @dataclass(frozen=True)
 class Runner:
-    """Execution + serialization triple for one spec kind."""
+    """Execution + serialization (+ optional stepping) for one spec kind."""
 
     kind: str
     #: Runs the spec, returning the (arbitrary) result object.
@@ -70,6 +70,12 @@ class Runner:
     encode: Callable[[Any], dict]
     #: JSON dict -> result object (inverse of ``encode``).
     decode: Callable[[dict], Any]
+    #: Optional factory building a :class:`repro.engine.SteppingEngine`
+    #: for the spec (``make_engine(spec, extra_observers=())``).  Kinds
+    #: that provide it support checkpoint/resume and time-sliced
+    #: execution; ``execute`` must equal
+    #: ``make_engine(spec).run_to_completion()`` bit for bit.
+    make_engine: Callable[..., Any] | None = None
 
 
 _RUNNERS: dict[str, Runner] = {}
@@ -120,18 +126,42 @@ def register_runner(
     encode: Callable[[Any], dict],
     decode: Callable[[dict], Any],
     spec_type: type | None = None,
+    make_engine: Callable[..., Any] | None = None,
 ) -> Runner:
     """Register (or re-register) the runner for ``kind``.
 
     Re-registration is allowed so module reloads stay idempotent.
     ``spec_type`` additionally registers the kind's spec dataclass for
-    the cluster wire format (see :func:`register_spec_type`).
+    the cluster wire format (see :func:`register_spec_type`);
+    ``make_engine`` opts the kind into resumable (checkpoint/restore,
+    time-sliced) execution.
     """
-    runner = Runner(kind=kind, execute=execute, encode=encode, decode=decode)
+    runner = Runner(
+        kind=kind,
+        execute=execute,
+        encode=encode,
+        decode=decode,
+        make_engine=make_engine,
+    )
     _RUNNERS[kind] = runner
     if spec_type is not None:
         register_spec_type(spec_type)
     return runner
+
+
+def engine_for_spec(spec: RunSpec, extra_observers: tuple = ()) -> Any:
+    """A fresh stepping engine for one spec's run.
+
+    Raises :class:`~repro.errors.ConfigurationError` for kinds whose
+    runner registered no engine factory (only whole-run execution).
+    """
+    runner = runner_for(spec.kind)
+    if runner.make_engine is None:
+        raise ConfigurationError(
+            f"spec kind {spec.kind!r} does not support engine-hosted "
+            f"(resumable/time-sliced) execution"
+        )
+    return runner.make_engine(spec, extra_observers=extra_observers)
 
 
 def runner_for(kind: str) -> Runner:

@@ -32,6 +32,11 @@ Commands:
 grid across a worker fleet and merges the results into this process's
 result store, so a later local run is all cache hits.
 
+``simulate`` and ``server`` accept ``--checkpoint-dir DIR``
+(``--checkpoint-every N`` windows, atomic files, removed on
+completion) and ``--resume`` — an interrupted long run finishes from
+its last checkpoint with bit-identical results.
+
 Every run — ad-hoc or named — is composed by the scenario engine
 (:mod:`repro.scenarios`) and executed through the campaign engine, so
 results are cached, deduplicated, and identical across entry points.
@@ -98,12 +103,30 @@ def _build_parser() -> argparse.ArgumentParser:
             help="emit the versioned result envelope(s) as JSON",
         )
 
+    def add_checkpoint_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="write an atomic engine checkpoint to DIR every "
+            "--checkpoint-every windows (removed when the run "
+            "completes), enabling --resume after an interruption",
+        )
+        command.add_argument(
+            "--checkpoint-every", type=int, default=2000, metavar="N",
+            help="DTM windows between checkpoints (default 2000)",
+        )
+        command.add_argument(
+            "--resume", action="store_true",
+            help="resume from the checkpoint in --checkpoint-dir if one "
+            "exists; the result is bit-identical to an uninterrupted run",
+        )
+
     simulate = sub.add_parser("simulate", help="one Chapter 4 simulation run")
     simulate.add_argument("--mix", default="W1")
     simulate.add_argument("--policy", default="acg", choices=CHAPTER4_POLICY_CHOICES)
     simulate.add_argument("--cooling", default="AOHS_1.5", choices=sorted(COOLING_CONFIGS))
     simulate.add_argument("--ambient", default="isolated", choices=("isolated", "integrated"))
     simulate.add_argument("--copies", type=int, default=2)
+    add_checkpoint_flags(simulate)
     add_json_flag(simulate)
 
     compare = sub.add_parser("compare", help="all Chapter 4 schemes on one mix")
@@ -117,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     server.add_argument("--mix", default="W1")
     server.add_argument("--policy", default="acg", choices=CHAPTER5_POLICIES)
     server.add_argument("--copies", type=int, default=2)
+    add_checkpoint_flags(server)
     add_json_flag(server)
 
     homogeneous = sub.add_parser("homogeneous", help="§5.4.1 warm-up experiment")
@@ -267,12 +291,32 @@ def _export_csv(
         print(f"\nexported {path}")
 
 
+def _checkpoint_kwargs(args: argparse.Namespace) -> dict | None:
+    """The resumable-run kwargs, or None for a plain run."""
+    if args.checkpoint_dir is None:
+        if args.resume:
+            raise ConfigurationError("--resume requires --checkpoint-dir")
+        return None
+    if args.checkpoint_every < 1:
+        raise ConfigurationError("--checkpoint-every must be >= 1")
+    return {
+        "checkpoint_dir": args.checkpoint_dir,
+        "checkpoint_every": args.checkpoint_every,
+        "resume": args.resume,
+    }
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     request = SimulateRequest(
         mix=args.mix, policy=args.policy, cooling=args.cooling,
         ambient=args.ambient, copies=args.copies,
     )
-    envelope = ReproClient().simulate(request)
+    client = ReproClient()
+    checkpointing = _checkpoint_kwargs(args)
+    if checkpointing is None:
+        envelope = client.simulate(request)
+    else:
+        envelope = client.simulate_resumable(request, **checkpointing)
     if args.json:
         print(envelope.to_json())
         return 0
@@ -317,7 +361,12 @@ def _cmd_server(args: argparse.Namespace) -> int:
         platform=args.platform, mix=args.mix, policy=args.policy,
         copies=args.copies,
     )
-    envelope = ReproClient().server(request)
+    client = ReproClient()
+    checkpointing = _checkpoint_kwargs(args)
+    if checkpointing is None:
+        envelope = client.server(request)
+    else:
+        envelope = client.server_resumable(request, **checkpointing)
     if args.json:
         print(envelope.to_json())
         return 0

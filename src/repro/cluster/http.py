@@ -3,23 +3,37 @@
 Shards a campaign's cells across worker processes speaking the existing
 ``/v1`` JSON protocol (``python -m repro worker``).  Design points:
 
+- **Chunked dispatch** — each ``/v1/worker/run`` request carries up to
+  ``chunk_cells`` cells (auto-sized from the grid by default), so
+  small grids amortize HTTP round-trips instead of paying one request
+  per cell.  Dispatch stays pull-based: a worker takes its next chunk
+  when a slot frees, so a slow worker never strands cells.
 - **Bounded in-flight dispatch** — ``slots_per_worker`` pump threads
   per worker, each carrying at most one HTTP request, so a fleet of N
-  workers never holds more than ``N x slots_per_worker`` cells in
+  workers never holds more than ``N x slots_per_worker`` chunks in
   flight regardless of grid size.
-- **Per-cell retry with worker blacklisting** — a cell whose request
-  fails transiently (connection refused/reset, timeout, 5xx) is
-  requeued *excluding* the worker that failed it; a worker that fails
-  ``blacklist_after`` consecutive requests stops receiving work.  A
-  cell is abandoned (→ :class:`~repro.errors.ClusterError`) only after
-  ``max_attempts`` tries, and a 4xx response — the worker understood
-  the request and rejected the cell itself — fails the grid
+- **Time-sliced, preemptible cells** — with ``window_slice`` set, a
+  worker runs at most that many DTM windows per request and returns
+  either the finished payload or a versioned
+  :class:`~repro.engine.EngineState` checkpoint.  The coordinator
+  requeues partial cells (front of the queue) with their state, so the
+  next slice — on *any* worker — resumes warm.  A worker that dies
+  mid-slice loses only that slice: the dead-worker requeue re-dispatches
+  from the last returned checkpoint instead of recomputing from zero.
+- **Per-cell retry with worker blacklisting** — a chunk whose request
+  fails transiently (connection refused/reset, timeout, 5xx) has its
+  cells requeued *excluding* the worker that failed them; a worker
+  failing ``blacklist_after`` consecutive requests stops receiving
+  work.  A cell is abandoned (→ :class:`~repro.errors.ClusterError`)
+  only after ``max_attempts`` tries, and a 4xx response — the worker
+  understood the request and rejected the cell itself — fails the grid
   immediately rather than burning retries.
 - **Heartbeat-based dead-worker requeue** — a background thread polls
   each worker's ``/v1/worker/health``; a worker missing
   ``dead_after_missed`` consecutive heartbeats is declared dead, its
   pump threads stop pulling, and any cell it held in flight is requeued
-  onto the survivors as soon as its socket errors out.
+  onto the survivors as soon as its socket errors out (warm, when the
+  cell has a checkpoint).
 
 The coordinator never decodes payloads — it forwards the workers'
 encoded cell payloads (plus hit/compute-seconds provenance) back to the
@@ -32,6 +46,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import socket
 import threading
 import urllib.error
@@ -83,13 +98,23 @@ class _Worker:
 
 
 class _PendingCell:
-    """One cell awaiting dispatch, with its retry history."""
+    """One cell awaiting dispatch, with its retry + resume history."""
 
     def __init__(self, key: str, wire: dict) -> None:
         self.key = key
         self.wire = wire
         self.attempts = 0
         self.excluded: set[str] = set()
+        #: Last checkpoint returned by a time-sliced worker (None until
+        #: the first partial slice completes).  Requeues carry it, so a
+        #: rescued cell resumes warm instead of restarting.
+        self.state: dict | None = None
+        #: Windows completed as of ``state``.
+        self.windows_done = 0
+        #: Compute seconds accumulated across completed slices.
+        self.compute_seconds = 0.0
+        #: Completed slices (partial responses) so far.
+        self.slices = 0
 
 
 class HttpWorkerBackend(ExecutionBackend):
@@ -113,6 +138,8 @@ class HttpWorkerBackend(ExecutionBackend):
         slots_per_worker: int = 1,
         max_attempts: int = 3,
         blacklist_after: int = 2,
+        chunk_cells: int | None = None,
+        window_slice: int | None = None,
     ) -> None:
         urls = [_normalize_worker_url(url) for url in workers]
         if not urls:
@@ -125,6 +152,16 @@ class HttpWorkerBackend(ExecutionBackend):
             raise ConfigurationError("slots_per_worker must be >= 1")
         if max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
+        if chunk_cells is not None and chunk_cells < 1:
+            raise ConfigurationError("chunk_cells must be >= 1 or None (auto)")
+        if window_slice is not None and window_slice < 1:
+            raise ConfigurationError("window_slice must be >= 1 or None")
+        if chunk_cells is not None and window_slice is not None:
+            raise ConfigurationError(
+                "chunk_cells cannot be combined with window_slice: "
+                "time-sliced dispatch sends one cell per request so each "
+                "partial checkpoint maps to exactly one cell"
+            )
         self.timeout_s = timeout_s
         self.health_timeout_s = health_timeout_s
         self.heartbeat_interval_s = heartbeat_interval_s
@@ -132,7 +169,19 @@ class HttpWorkerBackend(ExecutionBackend):
         self.slots_per_worker = slots_per_worker
         self.max_attempts = max_attempts
         self.blacklist_after = blacklist_after
+        #: Cells per request; None auto-sizes per batch (two dispatch
+        #: waves per slot, so stragglers can still be rebalanced).
+        self.chunk_cells = chunk_cells
+        #: Max DTM windows a worker may run per request (None = whole
+        #: cell).  Slicing forces one cell per request so each partial
+        #: checkpoint maps to exactly one cell.  Size slices generously
+        #: for trace-recording cells (ch5 records every window): the
+        #: checkpoint state carries the trace-so-far, so each slice
+        #: ships it both ways — slice wall time should dwarf that.
+        self.window_slice = window_slice
         self._workers = [_Worker(url) for url in urls]
+        #: Cells per request for the current batch (set at submit).
+        self._chunk = 1
         self._cond = threading.Condition()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -143,6 +192,9 @@ class HttpWorkerBackend(ExecutionBackend):
         #: twice (heartbeat-rescued off a hung worker whose request
         #: later completes anyway); only the first delivery counts.
         self._done: set[str] = set()
+        #: Per-cell completion provenance (see :meth:`dispatch_stats`).
+        self._completions: dict[str, dict] = {}
+        self._partial_slices = 0
         self._fatal: ClusterError | None = None
         #: Batch generation.  A pump thread from an abandoned batch may
         #: survive inside a blocking request past the next submit; its
@@ -151,6 +203,14 @@ class HttpWorkerBackend(ExecutionBackend):
         self._closed = False
 
     # -- protocol ----------------------------------------------------------
+
+    def _auto_chunk(self, cells: int) -> int:
+        if self.window_slice is not None:
+            return 1
+        if self.chunk_cells is not None:
+            return self.chunk_cells
+        slots = max(1, len(self._workers) * self.slots_per_worker)
+        return max(1, math.ceil(cells / (slots * 2)))
 
     def submit_cells(
         self, cells: Sequence[Cell], store: ResultStore | None = None
@@ -175,7 +235,10 @@ class HttpWorkerBackend(ExecutionBackend):
             self._results = deque()
             self._remaining = len(self._pending)
             self._done = set()
+            self._completions = {}
+            self._partial_slices = 0
             self._fatal = None
+            self._chunk = self._auto_chunk(len(self._pending))
             for worker in self._workers:
                 worker.alive = True
                 worker.consecutive_failures = 0
@@ -239,8 +302,10 @@ class HttpWorkerBackend(ExecutionBackend):
     def _live_urls(self) -> set[str]:
         return {w.url for w in self._workers if w.alive}
 
-    def _take(self, worker: _Worker, generation: int) -> _PendingCell | None:
-        """Next cell this worker may run; None when the pump should exit."""
+    def _take_chunk(
+        self, worker: _Worker, generation: int
+    ) -> list[_PendingCell]:
+        """Up to one chunk of cells this worker may run; [] = pump exit."""
         with self._cond:
             while True:
                 if (
@@ -250,12 +315,19 @@ class HttpWorkerBackend(ExecutionBackend):
                     or not worker.alive
                     or self._remaining <= 0
                 ):
-                    return None
-                for index, cell in enumerate(self._pending):
+                    return []
+                taken: list[_PendingCell] = []
+                index = 0
+                while index < len(self._pending) and len(taken) < self._chunk:
+                    cell = self._pending[index]
                     if worker.url not in cell.excluded:
                         del self._pending[index]
                         worker.in_flight[cell.key] = cell
-                        return cell
+                        taken.append(cell)
+                    else:
+                        index += 1
+                if taken:
+                    return taken
                 # Nothing dispatchable to this worker.  A pending cell
                 # whose exclusion set covers every live worker can
                 # never be dispatched by anyone — the live set may have
@@ -272,73 +344,98 @@ class HttpWorkerBackend(ExecutionBackend):
                 self._cond.wait(timeout=0.2)
 
     def _pump(self, worker: _Worker, generation: int) -> None:
-        """One dispatch slot: pull a cell, POST it, deliver or requeue."""
+        """One dispatch slot: pull a chunk, POST it, deliver or requeue."""
         while True:
-            cell = self._take(worker, generation)
-            if cell is None:
+            cells = self._take_chunk(worker, generation)
+            if not cells:
                 return
             try:
-                results = self._post_run(worker, cell)
+                completed, partials = self._post_run(worker, cells)
             except urllib.error.HTTPError as error:
                 body = self._error_body(error)
                 if 400 <= error.code < 500:
-                    # The worker parsed the request and rejected the
+                    # The worker parsed the request and rejected a
                     # cell itself — retrying elsewhere cannot help.
                     self._set_fatal(
-                        f"worker {worker.url} rejected cell {cell.key} "
+                        f"worker {worker.url} rejected cells "
+                        f"{[cell.key for cell in cells]} "
                         f"({error.code}): {body}",
                         generation,
                     )
                 else:
-                    self._requeue(worker, cell, f"{error.code}: {body}", generation)
+                    self._requeue(worker, cells, f"{error.code}: {body}", generation)
             except (*_TRANSIENT_ERRORS, ValueError) as error:
-                self._requeue(worker, cell, repr(error), generation)
+                self._requeue(worker, cells, repr(error), generation)
             except ClusterError as error:
-                self._requeue(worker, cell, str(error), generation)
+                self._requeue(worker, cells, str(error), generation)
             except Exception as error:  # noqa: BLE001
                 # Anything unexpected (e.g. a version-skewed worker
                 # returning shapes _post_run didn't anticipate) must
                 # not kill this dispatch thread silently — that would
-                # strand the cell in flight and hang the grid.  Treat
+                # strand the cells in flight and hang the grid.  Treat
                 # it like any other per-attempt failure: retry budget,
                 # then ClusterError.
-                self._requeue(worker, cell, repr(error), generation)
+                self._requeue(worker, cells, repr(error), generation)
             else:
-                self._deliver(worker, results, generation)
+                self._deliver(worker, completed, partials, generation)
 
-    def _post_run(self, worker: _Worker, cell: _PendingCell) -> list[CellResult]:
+    def _post_run(
+        self, worker: _Worker, cells: list[_PendingCell]
+    ) -> tuple[list[tuple[_PendingCell, dict]], list[tuple[_PendingCell, dict]]]:
+        """POST one chunk; returns (completed, partial) raw cell results."""
+        body: dict = {"cells": [cell.wire for cell in cells]}
+        if self.window_slice is not None:
+            body["window_slice"] = self.window_slice
+            resume = {
+                cell.key: cell.state for cell in cells if cell.state is not None
+            }
+            if resume:
+                body["resume"] = resume
         request = urllib.request.Request(
             f"{worker.url}/v1/worker/run",
-            data=json.dumps({"cells": [cell.wire]}).encode(),
+            data=json.dumps(body).encode(),
             headers={"Content-Type": "application/json"},
         )
         with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
             document = json.load(resp)
         raw_results = document.get("results")
-        if not isinstance(raw_results, list) or len(raw_results) != 1:
+        if not isinstance(raw_results, list) or len(raw_results) != len(cells):
             raise ClusterError(
-                f"worker {worker.url} returned a malformed run document"
+                f"worker {worker.url} returned a malformed run document "
+                f"({len(cells)} cells sent)"
             )
-        results: list[CellResult] = []
+        by_key = {cell.key: cell for cell in cells}
+        completed: list[tuple[_PendingCell, dict]] = []
+        partials: list[tuple[_PendingCell, dict]] = []
         for raw in raw_results:
             key = raw.get("key")
-            payload = raw.get("payload")
-            if not isinstance(key, str) or not isinstance(payload, dict):
+            if not isinstance(key, str) or key not in by_key:
                 raise ClusterError(
-                    f"worker {worker.url} returned a malformed cell result"
+                    f"worker {worker.url} answered with unexpected cell "
+                    f"key {key!r} — spec/worker version skew?"
                 )
-            if key != cell.key:
-                raise ClusterError(
-                    f"worker {worker.url} answered cell {cell.key} "
-                    f"with key {key} — spec/worker version skew?"
-                )
-            results.append((
-                key,
-                payload,
-                raw.get("cache") == "hit",
-                float(raw.get("compute_seconds", 0.0)),
-            ))
-        return results
+            cell = by_key.pop(key)
+            if raw.get("partial"):
+                state = raw.get("state")
+                if not isinstance(state, dict):
+                    raise ClusterError(
+                        f"worker {worker.url} returned a partial cell "
+                        f"{key} without a checkpoint state"
+                    )
+                partials.append((cell, raw))
+            else:
+                payload = raw.get("payload")
+                if not isinstance(payload, dict):
+                    raise ClusterError(
+                        f"worker {worker.url} returned a malformed cell result"
+                    )
+                completed.append((cell, raw))
+        if by_key:
+            raise ClusterError(
+                f"worker {worker.url} dropped cells {sorted(by_key)} "
+                f"from its run document"
+            )
+        return completed, partials
 
     @staticmethod
     def _error_body(error: urllib.error.HTTPError) -> str:
@@ -352,23 +449,53 @@ class HttpWorkerBackend(ExecutionBackend):
             return raw.strip() or (error.reason or "?")
 
     def _deliver(
-        self, worker: _Worker, results: list[CellResult], generation: int
+        self,
+        worker: _Worker,
+        completed: list[tuple[_PendingCell, dict]],
+        partials: list[tuple[_PendingCell, dict]],
+        generation: int,
     ) -> None:
         with self._cond:
             if generation != self._generation:
                 return
             worker.consecutive_failures = 0
-            for result in results:
-                key = result[0]
-                worker.in_flight.pop(key, None)
-                if key in self._done:
+            for cell, raw in completed:
+                worker.in_flight.pop(cell.key, None)
+                if cell.key in self._done:
                     # A heartbeat-rescued duplicate already delivered
                     # this cell; drop the late copy.
                     continue
-                self._done.add(key)
+                self._done.add(cell.key)
                 worker.completed_cells += 1
-                self._results.append(result)
+                seconds = cell.compute_seconds + float(
+                    raw.get("compute_seconds", 0.0)
+                )
+                self._completions[cell.key] = {
+                    "worker": worker.url,
+                    "slices": cell.slices + 1,
+                    "windows_done": int(raw.get("windows_done", 0)),
+                    "resumed_from": int(raw.get("resumed_from", 0)),
+                    "cache": raw.get("cache", "miss"),
+                }
+                self._results.append((
+                    cell.key,
+                    raw["payload"],
+                    raw.get("cache") == "hit",
+                    round(seconds, 6),
+                ))
                 self._remaining -= 1
+            for cell, raw in partials:
+                worker.in_flight.pop(cell.key, None)
+                self._partial_slices += 1
+                if cell.key in self._done or self._cell_is_active(cell):
+                    continue
+                cell.state = raw["state"]
+                cell.windows_done = int(raw.get("windows_done", 0))
+                cell.compute_seconds += float(raw.get("compute_seconds", 0.0))
+                cell.slices += 1
+                # Front of the queue: the next free slot continues this
+                # cell while its worker-side caches are still warm.
+                self._pending.appendleft(cell)
             self._cond.notify_all()
 
     def _cell_is_active(self, cell: _PendingCell) -> bool:
@@ -382,28 +509,33 @@ class HttpWorkerBackend(ExecutionBackend):
         )
 
     def _requeue(
-        self, worker: _Worker, cell: _PendingCell, why: str, generation: int
+        self,
+        worker: _Worker,
+        cells: list[_PendingCell],
+        why: str,
+        generation: int,
     ) -> None:
         with self._cond:
             if generation != self._generation:
                 return
-            worker.in_flight.pop(cell.key, None)
             worker.consecutive_failures += 1
             if worker.consecutive_failures >= self.blacklist_after:
                 self._mark_worker_dead(worker, generation)
-            if cell.key in self._done or self._cell_is_active(cell):
-                # The heartbeat already rescued this cell off the dying
-                # worker (and it may even have finished elsewhere);
-                # this late failure only counts against the worker.
-                self._cond.notify_all()
-                return
-            cell.attempts += 1
-            if cell.attempts >= self.max_attempts:
-                self._fatal = ClusterError(
-                    f"cell {cell.key} failed after {cell.attempts} "
-                    f"attempts; last worker {worker.url}: {why}"
-                )
-            else:
+            for cell in cells:
+                worker.in_flight.pop(cell.key, None)
+                if cell.key in self._done or self._cell_is_active(cell):
+                    # The heartbeat already rescued this cell off the
+                    # dying worker (and it may even have finished
+                    # elsewhere); this late failure only counts against
+                    # the worker.
+                    continue
+                cell.attempts += 1
+                if cell.attempts >= self.max_attempts:
+                    self._fatal = ClusterError(
+                        f"cell {cell.key} failed after {cell.attempts} "
+                        f"attempts; last worker {worker.url}: {why}"
+                    )
+                    continue
                 cell.excluded.add(worker.url)
                 live = self._live_urls()
                 if not live:
@@ -411,13 +543,15 @@ class HttpWorkerBackend(ExecutionBackend):
                         f"all workers are dead or blacklisted "
                         f"(last failure on {worker.url}: {why})"
                     )
-                else:
-                    if live <= cell.excluded:
-                        # Every live worker already failed this cell
-                        # once; let the retry budget, not the exclusion
-                        # set, decide when to give up.
-                        cell.excluded.clear()
-                    self._pending.append(cell)
+                    continue
+                if live <= cell.excluded:
+                    # Every live worker already failed this cell once;
+                    # let the retry budget, not the exclusion set,
+                    # decide when to give up.
+                    cell.excluded.clear()
+                # The cell keeps any checkpoint from earlier slices, so
+                # the retry resumes warm wherever it lands.
+                self._pending.append(cell)
             self._cond.notify_all()
 
     def _mark_worker_dead(self, worker: _Worker, generation: int) -> None:
@@ -425,8 +559,10 @@ class HttpWorkerBackend(ExecutionBackend):
 
         The pump thread holding a request to a dead-but-hung worker may
         stay blocked until its HTTP timeout; requeueing its cells here
-        lets the survivors pick them up immediately.  If the original
-        request does complete later, :meth:`_deliver` deduplicates.
+        lets the survivors pick them up immediately — resuming from the
+        cell's last checkpoint when time-sliced dispatch has produced
+        one.  If the original request does complete later,
+        :meth:`_deliver` deduplicates.
         """
         with self._cond:
             if generation != self._generation:
@@ -494,7 +630,12 @@ class HttpWorkerBackend(ExecutionBackend):
     # -- introspection -----------------------------------------------------
 
     def fleet_stats(self) -> list[dict]:
-        """Per-worker dispatch counters (for logs, tests, and the CLI)."""
+        """Per-worker dispatch counters (for logs, tests, and the CLI).
+
+        ``in_flight_cells`` lists the keys currently inside an HTTP
+        request to that worker — what a kill at this instant would
+        interrupt.
+        """
         with self._cond:
             return [
                 {
@@ -502,6 +643,27 @@ class HttpWorkerBackend(ExecutionBackend):
                     "alive": w.alive,
                     "completed_cells": w.completed_cells,
                     "consecutive_failures": w.consecutive_failures,
+                    "in_flight_cells": sorted(w.in_flight),
                 }
                 for w in self._workers
             ]
+
+    def dispatch_stats(self) -> dict:
+        """Batch-level dispatch provenance.
+
+        ``cells`` maps each delivered key to its completion record:
+        which worker finished it, how many slices it took, the window
+        count at completion, and ``resumed_from`` — the window the
+        final slice started at (``> 0`` means the cell finished from a
+        warm checkpoint rather than from scratch).
+        """
+        with self._cond:
+            return {
+                "chunk_cells": self._chunk,
+                "window_slice": self.window_slice,
+                "partial_slices": self._partial_slices,
+                "cells": {
+                    key: dict(record)
+                    for key, record in self._completions.items()
+                },
+            }

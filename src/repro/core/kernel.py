@@ -156,6 +156,35 @@ class BatchedMemSpot:
             self._t_amb = [self._inlet] * self._dimms
             self._t_dram = [self._inlet] * self._dimms
 
+    # -- checkpoint support ------------------------------------------------
+
+    def thermal_state(self) -> dict:
+        """Serializable thermal state (same shape as MemSpot's)."""
+        return {
+            "t_ambient": self._t_ambient,
+            "t_amb": list(self._t_amb),
+            "t_dram": list(self._t_dram),
+        }
+
+    def load_thermal_state(self, state: dict) -> None:
+        """Restore temperatures captured by :meth:`thermal_state`.
+
+        The RC gain cache is invalidated so the first step after a
+        restore recomputes the same ``1 - exp(-dt/tau)`` gains a fresh
+        kernel would — restored trajectories stay bit-identical.
+        """
+        t_amb = state["t_amb"]
+        t_dram = state["t_dram"]
+        if len(t_amb) != self._dimms or len(t_dram) != self._dimms:
+            raise ConfigurationError(
+                f"thermal state has {len(t_amb)} DIMM positions, "
+                f"this chain has {self._dimms}"
+            )
+        self._t_ambient = float(state["t_ambient"])
+        self._t_amb = [float(t) for t in t_amb]
+        self._t_dram = [float(t) for t in t_dram]
+        self._gain_dt = -1.0
+
     # -- sampling ----------------------------------------------------------
 
     def _ambient_c(self) -> float:

@@ -182,3 +182,33 @@ class MemSpot:
             inlet = self._ambient.inlet_c
             for model in self._dimm_models:
                 model.reset(inlet)
+
+    # -- checkpoint support ------------------------------------------------
+
+    def thermal_state(self) -> dict:
+        """Serializable thermal state (the engine checkpoint payload).
+
+        The shape is shared with :class:`~repro.core.kernel.BatchedMemSpot`
+        — the two kernels are bit-identical, so a checkpoint taken under
+        one restores into the other.
+        """
+        return {
+            "t_ambient": self._ambient.node_temperature_c,
+            "t_amb": [m.temperatures.amb_c for m in self._dimm_models],
+            "t_dram": [m.temperatures.dram_c for m in self._dimm_models],
+        }
+
+    def load_thermal_state(self, state: dict) -> None:
+        """Restore temperatures captured by :meth:`thermal_state`."""
+        t_amb = state["t_amb"]
+        t_dram = state["t_dram"]
+        if len(t_amb) != len(self._dimm_models) or len(t_dram) != len(
+            self._dimm_models
+        ):
+            raise ConfigurationError(
+                f"thermal state has {len(t_amb)} DIMM positions, "
+                f"this chain has {len(self._dimm_models)}"
+            )
+        self._ambient.restore_node(state["t_ambient"])
+        for model, amb_c, dram_c in zip(self._dimm_models, t_amb, t_dram):
+            model.reset_to(float(amb_c), float(dram_c))

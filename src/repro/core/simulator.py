@@ -1,4 +1,4 @@
-"""The two-level thermal simulator (Fig. 4.1).
+"""The two-level thermal simulator (Fig. 4.1), hosted on the engine.
 
 :class:`TwoLevelSimulator` wires together:
 
@@ -12,20 +12,28 @@
   charged per interval;
 - energy accounting for the processor (Table 4.4) and the FBDIMM.
 
-One :meth:`run` call simulates the full batch to completion — typically
-hundreds to thousands of simulated seconds — and returns a
-:class:`repro.core.results.RunResult`.
+Since the engine refactor the run loop itself lives in
+:class:`repro.engine.SteppingEngine`; this module supplies
+:class:`Chapter4Strategy` — the per-window decision/evaluation/advance
+and the :class:`~repro.core.results.RunResult` assembly.  One
+:meth:`TwoLevelSimulator.run` call still simulates the full batch to
+completion, but :meth:`TwoLevelSimulator.engine` exposes the stepping
+surface underneath: checkpoint/resume, observers, and time-sliced
+execution all come for free and are bit-identical to a straight run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.core.kernel import make_memspot
-from repro.core.results import RunResult, TemperatureTrace
+from repro.core.results import RunResult
 from repro.core.windowmodel import MemoryEnvelope, WindowModel
 from repro.cpu.power import simulated_chip_power_w
 from repro.dtm.base import DTMPolicy, ThermalReading
+from repro.engine.observers import Observer, ProgressObserver, TraceRecorder
+from repro.engine.stepping import SteppingEngine, WindowOutcome
 from repro.errors import ConfigurationError, SimulationError
 from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
 from repro.params.power_params import ProcessorPowerTable, SIMULATED_CPU_POWER
@@ -119,6 +127,212 @@ class SimulationConfig:
         return round(self.duty_cycle * self.duty_windows_per_period())
 
 
+class Chapter4Strategy:
+    """One Chapter 4 (workload, policy) run as an engine strategy.
+
+    Construction resets the policy and builds a fresh scheduler and
+    MEMSpot — a strategy instance is one run.  The per-window sequence
+    and every accumulation order match the pre-engine inlined loop, so
+    engine-hosted results are byte-identical to the historical ones.
+    """
+
+    kind = "ch4"
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: DTMPolicy,
+        window_model: WindowModel,
+    ) -> None:
+        cfg = config
+        self._config = cfg
+        self._policy = policy
+        self._window = window_model
+        policy.reset()
+        mix = get_mix(cfg.mix_name)
+        if cfg.cache_aware_scheduling:
+            from repro.workloads.scheduling import CacheAwareScheduler
+
+            self._scheduler: BatchScheduler = CacheAwareScheduler(
+                mix, cfg.copies, cfg.cores,
+                cache_capacity_bytes=cfg.l2_capacity_bytes,
+            )
+        else:
+            self._scheduler = BatchScheduler(mix, cfg.copies, cfg.cores)
+        self.memspot = make_memspot(
+            kernel=cfg.kernel,
+            cooling=cfg.cooling,
+            ambient=cfg.ambient,
+            physical_channels=cfg.physical_channels,
+            dimms_per_channel=cfg.dimms_per_channel,
+        )
+        self.dt_s = cfg.dtm_interval_s
+        self._points = cfg.cpu_power.operating_points
+        self._stopped_level = len(self._points)
+        self._max_frequency = self._points[0].frequency_hz
+        self._overhead_factor = 1.0 - cfg.dtm_overhead_s / self.dt_s
+        self._top_level = cfg.levels.level_count - 1
+        self._burst_gated = cfg.duty_cycle < 1.0
+        self._duty_windows = cfg.duty_windows_per_period()
+        self._duty_on = cfg.duty_windows_on()
+        self._rotation = 0
+        self._since_rotation_s = 0.0
+        self._total_intervals = 0
+        self._shutdown_intervals = 0
+        self.trace_recorder = TraceRecorder(
+            resolution_s=cfg.trace_resolution_s, enabled=cfg.record_trace
+        )
+
+    def default_observers(self) -> tuple[Observer, ...]:
+        """The observers every Chapter 4 engine carries."""
+        return (self.trace_recorder, ProgressObserver())
+
+    # -- engine protocol ---------------------------------------------------
+
+    def done(self, engine: SteppingEngine) -> bool:
+        return self._scheduler.done
+
+    def max_sim_horizon(self) -> float | None:
+        return self._config.max_sim_s
+
+    def timeout_error(self, engine: SteppingEngine) -> SimulationError:
+        return SimulationError(
+            f"batch did not finish within {self._config.max_sim_s} "
+            f"simulated seconds ({self._scheduler.finished_jobs}/"
+            f"{self._scheduler.total_jobs} jobs done)"
+        )
+
+    def window(self, engine: SteppingEngine) -> WindowOutcome:
+        cfg = self._config
+        dt = self.dt_s
+        scheduler = self._scheduler
+        sample = engine.sample
+        reading = ThermalReading(amb_c=sample.amb_c, dram_c=sample.dram_c)
+        decision = self._policy.decide(reading, dt)
+        self._total_intervals += 1
+        if not decision.memory_on or decision.emergency_level >= self._top_level:
+            self._shutdown_intervals += 1
+
+        self._since_rotation_s += dt
+        if self._since_rotation_s >= cfg.rotation_interval_s:
+            self._since_rotation_s = 0.0
+            self._rotation += 1
+
+        if decision.dvfs_level >= self._stopped_level:
+            frequency = 0.0
+            voltage = 0.0
+        else:
+            frequency = self._points[decision.dvfs_level].frequency_hz
+            voltage = self._points[decision.dvfs_level].voltage_v
+
+        occupied = scheduler.occupied_slots()
+        active_slots: list[int] = []
+        burst_idle = (
+            self._burst_gated
+            and (self._total_intervals - 1) % self._duty_windows >= self._duty_on
+        )
+        if (
+            not burst_idle
+            and decision.memory_on
+            and frequency > 0.0
+            and decision.active_cores > 0
+        ):
+            if decision.active_cores >= len(occupied):
+                active_slots = occupied
+            else:
+                offset = self._rotation % len(occupied)
+                rotated = occupied[offset:] + occupied[:offset]
+                active_slots = sorted(rotated[: decision.active_cores])
+
+        heating_sum = 0.0
+        read_bps = 0.0
+        write_bps = 0.0
+        if active_slots:
+            slot_apps = scheduler.running_apps(active_slots)
+            ordered_slots = list(slot_apps)
+            result = self._window.evaluate(
+                [slot_apps[slot] for slot in ordered_slots],
+                frequency_hz=frequency,
+                bandwidth_cap_bytes_per_s=decision.bandwidth_cap_bytes_per_s,
+                memory_on=True,
+            )
+            progress = {}
+            for slot, slot_result in zip(ordered_slots, result.slots):
+                advanced = (
+                    slot_result.instructions_per_s * dt * self._overhead_factor
+                )
+                progress[slot] = advanced
+                engine.instructions += advanced
+                heating_sum += (
+                    voltage * slot_result.instructions_per_s / self._max_frequency
+                )
+            scheduler.advance(progress)
+            read_bps = result.read_bytes_per_s
+            write_bps = result.write_bytes_per_s
+            engine.traffic_bytes += result.total_bytes_per_s * dt
+            engine.l2_misses += result.l2_misses_per_s * dt
+
+        cpu_power = simulated_chip_power_w(
+            active_cores=len(active_slots),
+            dvfs_level=min(decision.dvfs_level, self._stopped_level),
+            memory_on=decision.memory_on,
+            table=cfg.cpu_power,
+        )
+        return WindowOutcome(
+            read_bytes_per_s=read_bps,
+            write_bytes_per_s=write_bps,
+            heating_sum=heating_sum,
+            cpu_power_w=cpu_power,
+        )
+
+    def finalize(self, engine: SteppingEngine) -> RunResult:
+        cfg = self._config
+        now = engine.now_s
+        return RunResult(
+            workload=cfg.mix_name,
+            policy=self._policy.name,
+            cooling=cfg.cooling.name,
+            runtime_s=now,
+            traffic_bytes=engine.traffic_bytes,
+            l2_misses=engine.l2_misses,
+            instructions=engine.instructions,
+            cpu_energy_j=engine.cpu_energy_j,
+            memory_energy_j=engine.memory_energy_j,
+            mean_ambient_c=engine.ambient_integral / now if now > 0 else 0.0,
+            peak_amb_c=engine.peak_amb_c,
+            peak_dram_c=engine.peak_dram_c,
+            shutdown_fraction=(
+                self._shutdown_intervals / max(1, self._total_intervals)
+            ),
+            finished_jobs=self._scheduler.finished_jobs,
+            trace=self.trace_recorder.trace,
+        )
+
+    def progress(self, engine: SteppingEngine) -> dict[str, Any]:
+        return {
+            "finished_jobs": self._scheduler.finished_jobs,
+            "total_jobs": self._scheduler.total_jobs,
+        }
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "scheduler": self._scheduler.state_dict(),
+            "policy": self._policy.state_dict(),
+            "rotation": self._rotation,
+            "since_rotation_s": self._since_rotation_s,
+            "total_intervals": self._total_intervals,
+            "shutdown_intervals": self._shutdown_intervals,
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        self._scheduler.load_state_dict(state["scheduler"])
+        self._policy.load_state_dict(state.get("policy", {}))
+        self._rotation = int(state.get("rotation", 0))
+        self._since_rotation_s = float(state.get("since_rotation_s", 0.0))
+        self._total_intervals = int(state.get("total_intervals", 0))
+        self._shutdown_intervals = int(state.get("shutdown_intervals", 0))
+
+
 class TwoLevelSimulator:
     """Runs one (workload, policy) pair to batch completion."""
 
@@ -147,150 +361,23 @@ class TwoLevelSimulator:
         """The level-1 model (shared across runs for memoization)."""
         return self._window
 
+    def engine(
+        self, extra_observers: tuple[Observer, ...] = ()
+    ) -> SteppingEngine:
+        """A fresh stepping engine for one run of this configuration.
+
+        The engine carries the strategy's default observers (trace
+        recorder, progress emitter) plus ``extra_observers`` — pass a
+        :class:`~repro.engine.CheckpointObserver` for resumable runs.
+        A restored engine must be built with the same extras, in the
+        same order, as the one that wrote the checkpoint.
+        """
+        strategy = Chapter4Strategy(self._config, self._policy, self._window)
+        return SteppingEngine(
+            strategy,
+            observers=(*strategy.default_observers(), *extra_observers),
+        )
+
     def run(self) -> RunResult:
         """Simulate the batch job to completion."""
-        cfg = self._config
-        self._policy.reset()
-        if cfg.cache_aware_scheduling:
-            from repro.workloads.scheduling import CacheAwareScheduler
-
-            scheduler: BatchScheduler = CacheAwareScheduler(
-                self._mix, cfg.copies, cfg.cores,
-                cache_capacity_bytes=cfg.l2_capacity_bytes,
-            )
-        else:
-            scheduler = BatchScheduler(self._mix, cfg.copies, cfg.cores)
-        memspot = make_memspot(
-            kernel=cfg.kernel,
-            cooling=cfg.cooling,
-            ambient=cfg.ambient,
-            physical_channels=cfg.physical_channels,
-            dimms_per_channel=cfg.dimms_per_channel,
-        )
-        points = cfg.cpu_power.operating_points
-        stopped_level = len(points)
-        max_frequency = points[0].frequency_hz
-        dt = cfg.dtm_interval_s
-        overhead_factor = 1.0 - cfg.dtm_overhead_s / dt
-        top_level = cfg.levels.level_count - 1
-        burst_gated = cfg.duty_cycle < 1.0
-        duty_windows = cfg.duty_windows_per_period()
-        duty_on = cfg.duty_windows_on()
-
-        now = 0.0
-        rotation = 0
-        since_rotation = 0.0
-        since_trace = float("inf")
-        traffic_bytes = 0.0
-        l2_misses = 0.0
-        instructions = 0.0
-        cpu_energy = 0.0
-        memory_energy = 0.0
-        ambient_time_integral = 0.0
-        peak_amb = -273.15
-        peak_dram = -273.15
-        shutdown_intervals = 0
-        total_intervals = 0
-        trace = TemperatureTrace()
-        sample = memspot.sample()
-
-        while not scheduler.done:
-            if now > cfg.max_sim_s:
-                raise SimulationError(
-                    f"batch did not finish within {cfg.max_sim_s} simulated seconds "
-                    f"({scheduler.finished_jobs}/{scheduler.total_jobs} jobs done)"
-                )
-            reading = ThermalReading(amb_c=sample.amb_c, dram_c=sample.dram_c)
-            decision = self._policy.decide(reading, dt)
-            total_intervals += 1
-            if not decision.memory_on or decision.emergency_level >= top_level:
-                shutdown_intervals += 1
-
-            since_rotation += dt
-            if since_rotation >= cfg.rotation_interval_s:
-                since_rotation = 0.0
-                rotation += 1
-
-            if decision.dvfs_level >= stopped_level:
-                frequency = 0.0
-                voltage = 0.0
-            else:
-                frequency = points[decision.dvfs_level].frequency_hz
-                voltage = points[decision.dvfs_level].voltage_v
-
-            occupied = scheduler.occupied_slots()
-            active_slots: list[int] = []
-            burst_idle = burst_gated and (total_intervals - 1) % duty_windows >= duty_on
-            if (
-                not burst_idle
-                and decision.memory_on
-                and frequency > 0.0
-                and decision.active_cores > 0
-            ):
-                if decision.active_cores >= len(occupied):
-                    active_slots = occupied
-                else:
-                    offset = rotation % len(occupied)
-                    rotated = occupied[offset:] + occupied[:offset]
-                    active_slots = sorted(rotated[: decision.active_cores])
-
-            heating_sum = 0.0
-            read_bps = 0.0
-            write_bps = 0.0
-            if active_slots:
-                slot_apps = scheduler.running_apps(active_slots)
-                ordered_slots = list(slot_apps)
-                result = self._window.evaluate(
-                    [slot_apps[slot] for slot in ordered_slots],
-                    frequency_hz=frequency,
-                    bandwidth_cap_bytes_per_s=decision.bandwidth_cap_bytes_per_s,
-                    memory_on=True,
-                )
-                progress = {}
-                for slot, slot_result in zip(ordered_slots, result.slots):
-                    advanced = slot_result.instructions_per_s * dt * overhead_factor
-                    progress[slot] = advanced
-                    instructions += advanced
-                    heating_sum += voltage * slot_result.instructions_per_s / max_frequency
-                scheduler.advance(progress)
-                read_bps = result.read_bytes_per_s
-                write_bps = result.write_bytes_per_s
-                traffic_bytes += result.total_bytes_per_s * dt
-                l2_misses += result.l2_misses_per_s * dt
-
-            sample = memspot.step(read_bps, write_bps, heating_sum, dt)
-            peak_amb = max(peak_amb, sample.amb_c)
-            peak_dram = max(peak_dram, sample.dram_c)
-            ambient_time_integral += sample.ambient_c * dt
-            memory_energy += sample.memory_power_w * dt
-            cpu_power = simulated_chip_power_w(
-                active_cores=len(active_slots),
-                dvfs_level=min(decision.dvfs_level, stopped_level),
-                memory_on=decision.memory_on,
-                table=cfg.cpu_power,
-            )
-            cpu_energy += cpu_power * dt
-
-            now += dt
-            since_trace += dt
-            if cfg.record_trace and since_trace >= cfg.trace_resolution_s:
-                since_trace = 0.0
-                trace.append(now, sample.amb_c, sample.dram_c, sample.ambient_c)
-
-        return RunResult(
-            workload=cfg.mix_name,
-            policy=self._policy.name,
-            cooling=cfg.cooling.name,
-            runtime_s=now,
-            traffic_bytes=traffic_bytes,
-            l2_misses=l2_misses,
-            instructions=instructions,
-            cpu_energy_j=cpu_energy,
-            memory_energy_j=memory_energy,
-            mean_ambient_c=ambient_time_integral / now if now > 0 else 0.0,
-            peak_amb_c=peak_amb,
-            peak_dram_c=peak_dram,
-            shutdown_fraction=shutdown_intervals / max(1, total_intervals),
-            finished_jobs=scheduler.finished_jobs,
-            trace=trace,
-        )
+        return self.engine().run_to_completion()

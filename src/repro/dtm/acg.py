@@ -75,3 +75,17 @@ class DTMACG(DTMPolicy):
         self._tracker.reset()
         self._since_rotation_s = 0.0
         self.rotation = 0
+
+    def state_dict(self) -> dict:
+        """Serializable latch + rotation state."""
+        return {
+            "tracker": self._tracker.state_dict(),
+            "since_rotation_s": self._since_rotation_s,
+            "rotation": self.rotation,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore latch + rotation state."""
+        self._tracker.load_state_dict(state.get("tracker", {}))
+        self._since_rotation_s = float(state.get("since_rotation_s", 0.0))
+        self.rotation = int(state.get("rotation", 0))

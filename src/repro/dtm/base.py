@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 
@@ -73,6 +74,19 @@ class DTMPolicy(abc.ABC):
 
     def reset(self) -> None:
         """Restore initial policy state (default: stateless)."""
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable runtime state (hysteresis latches, PID
+        integrals, rotation counters) for engine checkpoints.
+
+        Stateless policies return ``{}``.  The dict must round-trip
+        through :meth:`load_state_dict` bit-exactly: a restored policy
+        produces the same decision stream as one that never paused.
+        """
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore runtime state captured by :meth:`state_dict`."""
 
 
 class NoLimitPolicy(DTMPolicy):

@@ -54,3 +54,11 @@ class DTMCDVFS(DTMPolicy):
     def reset(self) -> None:
         """Clear the shutdown latch."""
         self._tracker.reset()
+
+    def state_dict(self) -> dict:
+        """Serializable latch state."""
+        return {"tracker": self._tracker.state_dict()}
+
+    def load_state_dict(self, state) -> None:
+        """Restore latch state."""
+        self._tracker.load_state_dict(state.get("tracker", {}))

@@ -55,3 +55,11 @@ class LevelTracker:
     def reset(self) -> None:
         """Clear the shutdown latch."""
         self._latched_shutdown = False
+
+    def state_dict(self) -> dict:
+        """Serializable latch state (for engine checkpoints)."""
+        return {"latched": self._latched_shutdown}
+
+    def load_state_dict(self, state) -> None:
+        """Restore latch state captured by :meth:`state_dict`."""
+        self._latched_shutdown = bool(state.get("latched", False))

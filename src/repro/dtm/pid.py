@@ -130,3 +130,20 @@ class PIDController:
         self._previous_error = None
         self._saturated_low = False
         self._saturated_high = False
+
+    def state_dict(self) -> dict:
+        """Serializable controller state (for engine checkpoints)."""
+        return {
+            "integral": self._integral,
+            "previous_error": self._previous_error,
+            "saturated_low": self._saturated_low,
+            "saturated_high": self._saturated_high,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore controller state captured by :meth:`state_dict`."""
+        self._integral = float(state.get("integral", 0.0))
+        previous = state.get("previous_error")
+        self._previous_error = None if previous is None else float(previous)
+        self._saturated_low = bool(state.get("saturated_low", False))
+        self._saturated_high = bool(state.get("saturated_high", False))

@@ -133,6 +133,18 @@ class PIDPolicy(DTMPolicy):
         self._amb_pid.reset()
         self._dram_pid.reset()
 
+    def state_dict(self) -> dict:
+        """Serializable state of both controllers."""
+        return {
+            "amb": self._amb_pid.state_dict(),
+            "dram": self._dram_pid.state_dict(),
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore both controllers."""
+        self._amb_pid.load_state_dict(state.get("amb", {}))
+        self._dram_pid.load_state_dict(state.get("dram", {}))
+
 
 def make_pid_policy(
     scheme: str,

@@ -75,3 +75,11 @@ class DTMTS(DTMPolicy):
     def reset(self) -> None:
         """Memory back on."""
         self._shut_down = False
+
+    def state_dict(self) -> dict:
+        """Serializable hysteresis state."""
+        return {"shut_down": self._shut_down}
+
+    def load_state_dict(self, state) -> None:
+        """Restore hysteresis state."""
+        self._shut_down = bool(state.get("shut_down", False))

@@ -1,0 +1,86 @@
+"""Process-wide run-progress broker (the ``/v1/progress`` feed).
+
+The stepping engine is the only place that knows how far a run has
+gotten; the HTTP service (and any other consumer) is several layers
+away.  The broker decouples them: the campaign engine labels each
+executing cell with its cache key (:meth:`ProgressBroker.track`), the
+engine's :class:`~repro.engine.observers.ProgressObserver` publishes
+snapshots under whatever label is active on the current thread, and
+``GET /v1/progress`` reads the broker.  Labels are context-local, so
+the threaded HTTP service and campaign pool threads never cross their
+streams.
+
+Publishing without an active label is a silent no-op — engines run
+identically whether or not anyone is watching.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+from contextvars import ContextVar
+from typing import Iterator
+
+#: Finished runs retained for late ``/v1/progress`` polls (oldest
+#: evicted first); active runs are never evicted.
+_MAX_FINISHED = 64
+
+_CURRENT_LABEL: ContextVar[str | None] = ContextVar(
+    "repro_progress_label", default=None
+)
+
+
+class ProgressBroker:
+    """Thread-safe label -> latest-progress-snapshot map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._runs: OrderedDict[str, dict] = OrderedDict()
+
+    @contextlib.contextmanager
+    def track(self, label: str) -> Iterator[None]:
+        """Label engine runs on this context with ``label``.
+
+        Nested tracks shadow the outer label for their duration.
+        """
+        token = _CURRENT_LABEL.set(label)
+        try:
+            yield
+        finally:
+            _CURRENT_LABEL.reset(token)
+
+    def current_label(self) -> str | None:
+        """The label active on this context (None = untracked)."""
+        return _CURRENT_LABEL.get()
+
+    def publish(self, snapshot: dict) -> None:
+        """Record ``snapshot`` under the active label (no-op untracked)."""
+        label = _CURRENT_LABEL.get()
+        if label is None:
+            return
+        with self._lock:
+            self._runs[label] = dict(snapshot)
+            self._runs.move_to_end(label)
+            finished = [
+                key for key, snap in self._runs.items() if snap.get("done")
+            ]
+            for key in finished[: max(0, len(finished) - _MAX_FINISHED)]:
+                del self._runs[key]
+
+    def snapshot(self, label: str | None = None) -> dict[str, dict]:
+        """Current progress: every run, or just ``label``."""
+        with self._lock:
+            if label is not None:
+                snap = self._runs.get(label)
+                return {} if snap is None else {label: dict(snap)}
+            return {key: dict(snap) for key, snap in self._runs.items()}
+
+    def clear(self) -> None:
+        """Forget every run (tests)."""
+        with self._lock:
+            self._runs.clear()
+
+
+#: The process-wide broker every engine and service instance shares.
+PROGRESS = ProgressBroker()

@@ -1,0 +1,176 @@
+"""Serializable engine snapshots and atomic checkpoint files.
+
+An :class:`EngineState` is everything a
+:class:`~repro.engine.stepping.SteppingEngine` needs to resume a run at
+an exact DTM-window boundary: the clock, the shared accumulators, the
+thermal-chain temperatures, the strategy's own state (scheduler queue,
+policy hysteresis/PID integrals, rotation counters) and each observer's
+state (the trace recorded so far, trace-sampling phase).
+
+Versioning follows the ResultEnvelope rules
+(:mod:`repro.api.envelope`): ``version`` is ``"<major>.<minor>"``;
+minor bumps only add fields and old snapshots keep loading, major
+bumps may rename or remove fields and :meth:`EngineState.from_dict`
+rejects a foreign major outright.  Snapshots are plain JSON — floats
+round-trip bit-exactly through Python's shortest-repr serialization,
+which is what makes a restored run *bit-identical* to an uninterrupted
+one rather than merely close.
+
+:class:`CheckpointFile` stores one snapshot on disk with the same
+write-then-rename discipline as
+:class:`~repro.campaign.stores.JsonDirStore`: the JSON is serialized
+*before* the temp file is opened, published with :func:`os.replace`,
+and the temp sibling is unlinked on any failure — an interrupted or
+abandoned run can leave behind a valid previous checkpoint or nothing,
+never a torn or partial file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import CheckpointError
+
+#: Engine snapshot schema version.  Bump the minor for additive
+#: changes, the major for breaking ones (same rules as the API's
+#: ``SCHEMA_VERSION``; see the module docstring).
+ENGINE_STATE_VERSION = "1.0"
+
+
+def _state_major(version: str) -> int:
+    major, _, minor = str(version).partition(".")
+    if not major.isdigit() or not minor.isdigit():
+        raise CheckpointError(
+            f"malformed engine-state version {version!r} "
+            f"(expected '<major>.<minor>')"
+        )
+    return int(major)
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """One engine snapshot, taken at a DTM-window boundary."""
+
+    #: Strategy kind the snapshot belongs to (``ch4``, ``ch5``, ...).
+    #: Restoring into an engine built for a different kind fails.
+    strategy: str
+    #: Windows completed so far.
+    windows: int
+    #: Simulated seconds elapsed.
+    now_s: float
+    #: The engine-owned accumulators (traffic, energies, peaks, ...).
+    accumulators: dict[str, float]
+    #: Thermal-chain temperatures (``MemSpot.thermal_state()`` shape).
+    thermal: dict[str, Any]
+    #: Strategy-owned state (scheduler, policy, rotation counters).
+    strategy_state: dict[str, Any]
+    #: Per-observer state, in engine attach order.
+    observers: list[dict] = field(default_factory=list)
+    version: str = ENGINE_STATE_VERSION
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "version": self.version,
+            "strategy": self.strategy,
+            "windows": self.windows,
+            "now_s": self.now_s,
+            "accumulators": dict(self.accumulators),
+            "thermal": dict(self.thermal),
+            "strategy_state": dict(self.strategy_state),
+            "observers": [dict(state) for state in self.observers],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "EngineState":
+        """Rebuild a snapshot, rejecting incompatible majors."""
+        if not isinstance(raw, Mapping):
+            raise CheckpointError(
+                f"engine state must be a JSON object, got {type(raw).__name__}"
+            )
+        version = str(raw.get("version", ""))
+        if _state_major(version) != _state_major(ENGINE_STATE_VERSION):
+            raise CheckpointError(
+                f"incompatible engine-state version {version!r}: this "
+                f"engine speaks major {_state_major(ENGINE_STATE_VERSION)} "
+                f"({ENGINE_STATE_VERSION})"
+            )
+        try:
+            return cls(
+                strategy=str(raw["strategy"]),
+                windows=int(raw["windows"]),
+                now_s=float(raw["now_s"]),
+                accumulators=dict(raw["accumulators"]),
+                thermal=dict(raw["thermal"]),
+                strategy_state=dict(raw["strategy_state"]),
+                observers=[dict(state) for state in raw.get("observers", [])],
+                version=version,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"malformed engine state: {error!r}"
+            ) from None
+
+
+class CheckpointFile:
+    """One on-disk checkpoint slot with atomic write-then-rename."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether a published checkpoint is present."""
+        return self.path.is_file()
+
+    def write(self, state: EngineState) -> None:
+        """Atomically publish ``state``, replacing any prior snapshot.
+
+        The document is serialized before the temp file opens, so an
+        unserializable state aborts before touching disk; any I/O
+        failure mid-write unlinks the temp sibling, leaving either the
+        previous valid checkpoint or nothing.
+        """
+        text = json.dumps(state.to_dict(), sort_keys=True)
+        tmp = self.path.with_suffix(f"{self.path.suffix}.tmp.{os.getpid()}")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            # KeyboardInterrupt included: an interrupted run must not
+            # leave a partial sibling behind.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
+
+    def load(self) -> EngineState:
+        """Read and validate the published snapshot."""
+        try:
+            raw = json.loads(self.path.read_text())
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {error}"
+            ) from None
+        except ValueError as error:
+            raise CheckpointError(
+                f"checkpoint {self.path} is not valid JSON: {error}"
+            ) from None
+        return EngineState.from_dict(raw)
+
+    def remove(self) -> None:
+        """Delete the checkpoint and any stale temp siblings (idempotent)."""
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        try:
+            for stale in self.path.parent.glob(f"{self.path.name}.tmp.*"):
+                stale.unlink(missing_ok=True)
+        except OSError:
+            pass

@@ -45,6 +45,16 @@ class SimulationError(ReproError):
     """A simulation run failed to make progress or exceeded its horizon."""
 
 
+class CheckpointError(ReproError):
+    """An engine checkpoint could not be captured, decoded, or restored.
+
+    Raised for version-skewed snapshots, snapshots taken under a
+    different strategy kind, and checkpoint files that fail to decode.
+    A *torn* file can never cause this: checkpoints are published with
+    the same write-then-rename discipline as the result stores.
+    """
+
+
 class ClusterError(ReproError):
     """Distributed campaign execution failed (workers dead, cell rejected,
     or retries exhausted).

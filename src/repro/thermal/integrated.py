@@ -103,3 +103,13 @@ class AmbientModel:
     def reset(self) -> None:
         """Restart the ambient at the system inlet temperature."""
         self._node.reset(self.inlet_c)
+
+    @property
+    def node_temperature_c(self) -> float:
+        """The raw ambient-node temperature (checkpoint state; unlike
+        :attr:`ambient_c` it is meaningful even at interaction 0)."""
+        return self._node.temperature_c
+
+    def restore_node(self, temperature_c: float) -> None:
+        """Force the ambient node to a checkpointed temperature."""
+        self._node.reset(float(temperature_c))

@@ -156,3 +156,62 @@ class BatchScheduler:
         )
         in_queue = sum(job.remaining_instructions for job in self._queue)
         return in_slots + in_queue
+
+    # -- checkpoint support ------------------------------------------------
+
+    def _job_ref(self, job: BatchJob) -> list:
+        """Serializable job identity: (mix app index, copy, remaining)."""
+        index = next(
+            i for i, app in enumerate(self._mix.apps) if app is job.app
+        )
+        return [index, job.copy_index, job.remaining_instructions]
+
+    def state_dict(self) -> dict:
+        """Serializable scheduler state (for engine checkpoints).
+
+        Jobs are identified by their application's index in the mix and
+        their copy index, so the state crosses process boundaries
+        without serializing :class:`AppProfile` objects.
+        """
+        return {
+            "queue": [self._job_ref(job) for job in self._queue],
+            "slots": [
+                None if job is None else self._job_ref(job)
+                for job in self._slots
+            ],
+            "finished": [self._job_ref(job) for job in self._finished],
+        }
+
+    def _job_from_ref(self, ref) -> BatchJob:
+        index, copy_index, remaining = ref
+        job = BatchJob(app=self._mix.apps[int(index)], copy_index=int(copy_index))
+        job.remaining_instructions = float(remaining)
+        return job
+
+    def load_state_dict(self, state) -> None:
+        """Restore scheduler state captured by :meth:`state_dict`.
+
+        The scheduler must have been constructed with the same (mix,
+        copies, cores) as the one that produced the state.
+        """
+        queue = [self._job_from_ref(ref) for ref in state["queue"]]
+        slots = [
+            None if ref is None else self._job_from_ref(ref)
+            for ref in state["slots"]
+        ]
+        finished = [self._job_from_ref(ref) for ref in state["finished"]]
+        if len(slots) != self._cores:
+            raise SchedulingError(
+                f"checkpoint has {len(slots)} core slots, "
+                f"scheduler has {self._cores}"
+            )
+        if len(queue) + len(finished) + sum(
+            1 for job in slots if job is not None
+        ) != self._total_jobs:
+            raise SchedulingError(
+                "checkpoint job count does not match this batch "
+                f"({self._total_jobs} jobs expected)"
+            )
+        self._queue = queue
+        self._slots = slots
+        self._finished = finished

@@ -140,6 +140,83 @@ def test_worker_run_route_executes_wire_cells(service):
     assert again["results"][0]["compute_seconds"] == 0.0
 
 
+def test_worker_run_route_time_sliced_partial_then_resume(
+    service, tmp_path, monkeypatch
+):
+    """A window_slice request returns a checkpoint for an unfinished
+    cell; replaying the checkpoint finishes the cell with the same
+    payload a whole-run dispatch produces."""
+    from repro.campaign import GLOBAL_MEMORY, NullStore, run
+    from repro.analysis.specs import run_result_to_dict
+
+    # The cell must be cold or a cache hit short-circuits the slice:
+    # private disk store (the service resolves the default stack per
+    # request) and a cleared process memo.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    GLOBAL_MEMORY.clear()
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1, inlet_delta_c=-0.5)
+    status, document = _post(
+        service, "/v1/worker/run",
+        {"cells": [cell_to_wire(spec)], "window_slice": 100},
+    )
+    assert status == 200
+    (first,) = document["results"]
+    assert first["key"] == spec.key()
+    assert first["partial"] is True
+    assert first["windows_done"] == 100
+    assert first["resumed_from"] == 0
+    state = first["state"]
+    assert state["strategy"] == "ch4"
+    assert state["windows"] == 100
+
+    # Resume with a huge slice: the cell completes, warm.
+    status, document = _post(
+        service, "/v1/worker/run",
+        {
+            "cells": [cell_to_wire(spec)],
+            "window_slice": 10_000_000,
+            "resume": {spec.key(): state},
+        },
+    )
+    assert status == 200
+    (final,) = document["results"]
+    assert "partial" not in final
+    assert final["resumed_from"] == 100
+    assert final["windows_done"] > 100
+    expected = run(spec, store=NullStore())
+    assert final["payload"] == run_result_to_dict(expected)
+
+
+def test_progress_route_reports_engine_runs(service, tmp_path, monkeypatch):
+    from repro.campaign import GLOBAL_MEMORY
+    from repro.engine import PROGRESS
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    GLOBAL_MEMORY.clear()
+    PROGRESS.clear()
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1, inlet_delta_c=-1.0)
+    # Cold-run the cell through the worker route so the service's own
+    # process hosts the engine (progress is process-local).
+    _post(
+        service, "/v1/worker/run",
+        {"cells": [cell_to_wire(spec)], "window_slice": 10_000_000},
+    )
+    status, document = _get(service, "/v1/progress")
+    assert status == 200
+    runs = document["runs"]
+    assert spec.key() in runs
+    record = runs[spec.key()]
+    assert record["done"] is True and record["windows"] > 0
+    status, filtered = _get(service, f"/v1/progress?key={spec.key()}")
+    assert status == 200 and set(filtered["runs"]) == {spec.key()}
+    status, empty = _get(service, "/v1/progress?key=nope")
+    assert status == 200 and empty["runs"] == {}
+    code, body = _error(service, "/v1/progress?bogus=1")
+    assert code == 400 and "unknown progress parameters" in body["error"]
+    code, body = _error(service, "/v1/progress", data=b"{}")
+    assert code == 405
+
+
 def test_worker_route_errors(service):
     code, body = _error(service, "/v1/worker/run", data=b"{}")
     assert code == 400 and "non-empty 'cells'" in body["error"]

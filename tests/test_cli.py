@@ -264,3 +264,72 @@ def test_campaign_json_with_export_writes_csv(capsys, tmp_path, monkeypatch):
     assert len(document["results"]) == 1
     assert "exported" in captured.err
     assert export.read_text().startswith("cooling,mix,policy,")
+
+
+def test_simulate_with_checkpoint_dir_matches_plain_run(capsys, tmp_path, monkeypatch):
+    """--checkpoint-dir produces the same envelope a plain run does and
+    leaves no checkpoint files once the run completes."""
+    import json
+
+    from repro.campaign import GLOBAL_MEMORY
+
+    GLOBAL_MEMORY.clear()  # the suite-shared memo would turn the cold run into a hit
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    ckpt_dir = tmp_path / "ckpt"
+    assert main(["simulate", "--mix", "W1", "--policy", "ts", "--copies", "1",
+                 "--checkpoint-dir", str(ckpt_dir),
+                 "--checkpoint-every", "500", "--json"]) == 0
+    checkpointed = json.loads(capsys.readouterr().out)
+    assert checkpointed["provenance"]["cache"] == "miss"
+    assert not list(ckpt_dir.glob("*.checkpoint.json*"))
+
+    # A plain warm run over the same store returns identical metrics.
+    assert main(["simulate", "--mix", "W1", "--policy", "ts", "--copies", "1",
+                 "--json"]) == 0
+    plain = json.loads(capsys.readouterr().out)
+    assert plain["provenance"]["cache"] == "hit"
+    assert plain["metrics"] == checkpointed["metrics"]
+
+
+def test_simulate_resume_finishes_from_checkpoint(capsys, tmp_path, monkeypatch):
+    """--resume picks up a half-done run's checkpoint and the finished
+    metrics are bit-identical to an uninterrupted run."""
+    import json
+
+    from repro.api import SimulateRequest
+    from repro.campaign import NullStore, engine_for_spec, run
+    from repro.engine import CheckpointFile, CheckpointObserver
+
+    from repro.campaign import GLOBAL_MEMORY
+
+    GLOBAL_MEMORY.clear()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    request = SimulateRequest(mix="W1", policy="ts", copies=1)
+    spec = request.spec()
+    uninterrupted = run(spec, store=NullStore())
+
+    # Fake the interrupted first half exactly as the CLI would have
+    # left it: same observer line-up (the CheckpointObserver included),
+    # same file name, abandoned mid-run.
+    ckpt_dir = tmp_path / "ckpt"
+    checkpoint = CheckpointFile(ckpt_dir / f"{spec.key()}.checkpoint.json")
+    engine = engine_for_spec(
+        spec,
+        extra_observers=(CheckpointObserver(checkpoint, every_windows=200),),
+    )
+    engine.step_windows(400)
+
+    assert main(["simulate", "--mix", "W1", "--policy", "ts", "--copies", "1",
+                 "--checkpoint-dir", str(ckpt_dir), "--resume",
+                 "--json"]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    assert resumed["metrics"]["runtime_s"] == uninterrupted.runtime_s
+    assert resumed["metrics"]["peak_amb_c"] == uninterrupted.peak_amb_c
+    assert resumed["metrics"]["cpu_energy_j"] == uninterrupted.cpu_energy_j
+    assert not list(ckpt_dir.glob("*.checkpoint.json*"))
+
+
+def test_resume_without_checkpoint_dir_is_an_error(capsys):
+    assert main(["server", "--platform", "PE1950", "--mix", "W1",
+                 "--policy", "bw", "--copies", "1", "--resume"]) == 2
+    assert "--checkpoint-dir" in capsys.readouterr().err

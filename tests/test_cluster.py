@@ -443,8 +443,8 @@ def test_take_reopens_cell_excluded_from_every_live_worker():
         cell.excluded = {backend._workers[0].url}
         backend._pending.append(cell)
         backend._workers[1].alive = False
-    taken = backend._take(backend._workers[0], backend._generation)
-    assert taken is cell
+    taken = backend._take_chunk(backend._workers[0], backend._generation)
+    assert taken == [cell]
     assert not cell.excluded
     assert backend._workers[0].in_flight == {cell.key: cell}
 
@@ -463,8 +463,8 @@ def test_mark_worker_dead_rescues_in_flight_cells():
     assert not hung.in_flight
     assert list(backend._pending) == [cell]
     # The survivor can take the rescued cell immediately.
-    taken = backend._take(backend._workers[1], backend._generation)
-    assert taken is cell
+    taken = backend._take_chunk(backend._workers[1], backend._generation)
+    assert taken == [cell]
 
 
 def test_late_duplicate_delivery_is_deduplicated():
@@ -474,15 +474,33 @@ def test_late_duplicate_delivery_is_deduplicated():
     first, second = backend._workers
     with backend._cond:
         backend._remaining = 1
-    result = ("k", {"square": 1}, False, 0.1)
-    backend._deliver(second, [result], backend._generation)
-    backend._deliver(first, [result], backend._generation)
+    cell = _pending_cell()
+    raw = {"key": "k", "payload": {"square": 1}, "cache": "miss",
+           "compute_seconds": 0.1}
+    backend._deliver(second, [(cell, raw)], [], backend._generation)
+    backend._deliver(first, [(cell, raw)], [], backend._generation)
     assert backend._remaining == 0
-    assert list(backend._results) == [result]
+    assert list(backend._results) == [("k", {"square": 1}, False, 0.1)]
     assert second.completed_cells == 1 and first.completed_cells == 0
     # A late *failure* of the already-delivered cell is likewise only
     # counted against the worker, never requeued.
-    cell = _pending_cell()
-    backend._requeue(first, cell, "late socket error", backend._generation)
+    backend._requeue(first, [cell], "late socket error", backend._generation)
     assert not backend._pending
     assert first.consecutive_failures == 1
+
+
+def test_http_backend_dispatch_option_validation():
+    """Chunking and slicing knobs validate; the combination is refused
+    (slicing is one cell per request by construction)."""
+    from repro.errors import ConfigurationError
+
+    workers = ["127.0.0.1:9001"]
+    with pytest.raises(ConfigurationError, match="chunk_cells"):
+        HttpWorkerBackend(workers, chunk_cells=0)
+    with pytest.raises(ConfigurationError, match="window_slice"):
+        HttpWorkerBackend(workers, window_slice=0)
+    with pytest.raises(ConfigurationError, match="cannot be combined"):
+        HttpWorkerBackend(workers, chunk_cells=4, window_slice=100)
+    # Auto-chunking: two dispatch waves per slot; slicing forces 1.
+    assert HttpWorkerBackend(workers)._auto_chunk(8) == 4
+    assert HttpWorkerBackend(workers, window_slice=10)._auto_chunk(8) == 1

@@ -8,13 +8,17 @@ These tests boot actual ``python -m repro worker`` processes through
   merges worker payloads into the shared store so a follow-up local
   run is all cache hits;
 - killing a worker mid-grid loses no cells — the coordinator requeues
-  onto the survivors and the grid completes with correct results.
+  onto the survivors and the grid completes with correct results;
+- with time-sliced dispatch, a worker killed mid-cell resumes the cell
+  from its last returned checkpoint (not from zero), and the results
+  stay identical to a serial run.
 """
 
 from __future__ import annotations
 
 import json
 import tempfile
+import time
 
 import pytest
 
@@ -112,6 +116,62 @@ def test_cli_workers_without_http_backend_is_an_error(capsys):
     ])
     assert code == 2
     assert "--backend http" in capsys.readouterr().err
+
+
+def test_worker_killed_mid_cell_resumes_from_checkpoint(tmp_path):
+    """Acceptance: with time-sliced dispatch, killing a worker mid-cell
+    must resume the cell from its last checkpoint, not restart it."""
+    specs = [
+        Chapter4Spec(mix="W1", policy=policy, copies=2)
+        for policy in ("ts", "acg")
+    ]
+    with LocalFleet(
+        2, env={"REPRO_CACHE_DIR": str(tmp_path / "worker-cache")}
+    ) as fleet:
+        backend = HttpWorkerBackend(
+            fleet.urls,
+            window_slice=400,
+            heartbeat_interval_s=0.5,
+            health_timeout_s=1.0,
+            blacklist_after=2,
+        )
+        with backend:
+            import threading
+
+            results: list = []
+
+            def consume() -> None:
+                campaign = Campaign(specs, store=MemoryStore(), backend=backend)
+                for _, result, _, _ in campaign.iter_run():
+                    results.append(result)
+
+            consumer = threading.Thread(target=consume, daemon=True)
+            consumer.start()
+            # Let both cells accumulate at least one checkpoint each
+            # before taking a machine away.
+            deadline = time.monotonic() + 60
+            while (
+                backend.dispatch_stats()["partial_slices"] < 4
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert backend.dispatch_stats()["partial_slices"] >= 4
+            fleet.kill(1)  # SIGKILL mid-slice
+            consumer.join(timeout=180)
+            assert not consumer.is_alive(), "grid did not finish after the kill"
+            stats = backend.dispatch_stats()
+    # Every cell completed, each in several slices, and each finished
+    # from a warm checkpoint — no cell restarted from window zero.
+    assert len(results) == len(specs)
+    assert len(stats["cells"]) == len(specs)
+    for record in stats["cells"].values():
+        assert record["slices"] > 1
+        assert record["resumed_from"] > 0
+        assert record["windows_done"] > record["resumed_from"]
+    # And the time-sliced, interrupted, resumed grid is value-identical
+    # to a purely local serial run.
+    serial = Campaign(specs, store=MemoryStore()).run()
+    assert results == serial
 
 
 def test_worker_killed_mid_grid_requeues_onto_survivor(tmp_path):

@@ -1,19 +1,28 @@
 #!/usr/bin/env python
-"""Run the key benchmarks and emit a machine-readable ``BENCH_PR4.json``.
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR5.json``.
 
-This is the start of the repo's bench trajectory: one small, fast,
-deterministic-in-shape bundle that CI runs on every push and uploads as
-an artifact, so regressions in the hot paths show up as a diffable JSON
-file instead of anecdotes.  Current probes:
+The bench trajectory continues from ``BENCH_PR4.json``: one small,
+fast, deterministic-in-shape bundle that CI runs on every push and
+uploads as an artifact, so regressions in the hot paths show up as a
+diffable JSON file instead of anecdotes.  Current probes:
 
 - ``fig4_3_cell`` — wall time of one Fig. 4.3 simulation cell
   (W1/ts), uncached, best of ``--repeats``.
 - ``kernel_window_stream`` — the batched thermal kernel vs the scalar
   one on an identical window stream (the PR 2 speedup, tracked).
-- ``campaign_grid_serial`` / ``campaign_grid_fleet2`` — a small ch4
-  campaign grid run cold through the in-process ``SerialBackend`` vs
-  an ``HttpWorkerBackend`` over a 2-worker :class:`LocalFleet`,
-  measuring the scale-out path end to end (worker boot excluded).
+- ``campaign_grid_serial`` / ``campaign_grid_fleet2`` — the 8-cell ch4
+  grid cold through an in-process serial run vs an
+  ``HttpWorkerBackend`` over a 2-worker :class:`LocalFleet` with
+  chunked dispatch (one request per worker), measuring the scale-out
+  path end to end (worker boot excluded).  Unlike BENCH_PR4 — whose
+  serial baseline accidentally reused the window-model memo warmed by
+  the earlier probes in the same process — **both** sides now run in
+  cold processes, so the comparison is apples to apples.
+- ``checkpoint_overhead`` — per-window cost of engine checkpointing at
+  its most aggressive setting (a checkpoint written every window).
+- ``resume_vs_restart`` — a 2-worker fleet loses a worker mid-cell;
+  wall clock of the grid with time-sliced (resume-from-checkpoint)
+  dispatch vs whole-run (restart-from-zero) dispatch.
 
 Usage::
 
@@ -28,8 +37,9 @@ import json
 import os
 import platform
 import random
+import subprocess
 import sys
-import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -37,18 +47,41 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.specs import Chapter4Spec  # noqa: E402
-from repro.campaign import Campaign, MemoryStore, NullStore, run_payload  # noqa: E402
+from repro.campaign import (  # noqa: E402
+    Campaign,
+    MemoryStore,
+    NullStore,
+    engine_for_spec,
+    run_payload,
+)
 from repro.cluster import HttpWorkerBackend, LocalFleet  # noqa: E402
 from repro.core.kernel import BatchedMemSpot  # noqa: E402
 from repro.core.memspot import MemSpot  # noqa: E402
+from repro.engine import CheckpointFile, CheckpointObserver  # noqa: E402
 from repro.params.thermal_params import AOHS_1_5, ISOLATED_AMBIENT  # noqa: E402
 
 #: The campaign grid both execution paths run (cold, copies=1): all
-#: eight Fig. 4.3 schemes, enough cells to amortize per-worker model
-#: warm-up across the fleet.
+#: eight Fig. 4.3 schemes, ordered so each worker's half is a
+#: memoization-coherent family — the bandwidth-capped schemes share
+#: level-1 window-model entries, as do the frequency-scaled ones —
+#: which keeps the duplicated per-worker warm-up to a minimum.
 GRID_POLICIES = (
-    "no-limit", "ts", "bw", "acg", "cdvfs", "bw+pid", "acg+pid", "cdvfs+pid",
+    "bw", "acg", "bw+pid", "acg+pid",
+    "no-limit", "ts", "cdvfs", "cdvfs+pid",
 )
+
+#: Driver for the cold-process serial baseline: same grid, same
+#: MemoryStore, fresh interpreter (no warm window-model memo).
+_SERIAL_DRIVER = """
+import json, sys, time
+sys.path.insert(0, {src!r})
+from repro.analysis.specs import Chapter4Spec
+from repro.campaign import Campaign, MemoryStore
+specs = [Chapter4Spec(mix="W1", policy=p, copies=1) for p in {policies!r}]
+started = time.perf_counter()
+Campaign(specs, store=MemoryStore()).run()
+print(json.dumps({{"seconds": time.perf_counter() - started}}))
+"""
 
 
 def _grid_specs() -> list[Chapter4Spec]:
@@ -100,48 +133,203 @@ def bench_kernel_window_stream(repeats: int) -> dict:
     }
 
 
-def bench_campaign_grid_serial() -> dict:
+def _serial_grid_once() -> float:
+    driver = _SERIAL_DRIVER.format(
+        src=str(REPO_ROOT / "src"), policies=tuple(GRID_POLICIES)
+    )
+    env = dict(os.environ)
+    env["REPRO_CACHE"] = "0"
+    proc = subprocess.run(
+        [sys.executable, "-c", driver],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout)["seconds"]
+
+
+def _fleet_grid_once(workers: int, chunk: int) -> float:
     specs = _grid_specs()
-    started = time.perf_counter()
-    results = Campaign(specs, store=MemoryStore()).run()
-    elapsed = time.perf_counter() - started
+    with LocalFleet(workers, env={"REPRO_CACHE": "0"}) as fleet:
+        # The grid takes a few seconds; a 5 s heartbeat keeps liveness
+        # probing off the timed path without disabling dead-worker
+        # detection for longer grids.
+        with HttpWorkerBackend(
+            fleet.urls, chunk_cells=chunk, heartbeat_interval_s=5.0
+        ) as backend:
+            started = time.perf_counter()
+            results = Campaign(
+                specs, store=MemoryStore(), backend=backend
+            ).run()
+            elapsed = time.perf_counter() - started
+    assert len(results) == len(specs)
+    return elapsed
+
+
+def bench_campaign_grids(repeats: int, workers: int = 2) -> tuple[dict, dict]:
+    """Serial vs 2-worker fleet, reps interleaved so machine-load
+    drift hits both sides equally; best-of-``repeats`` per side."""
+    chunk = len(GRID_POLICIES) // workers
+    serial_samples: list[float] = []
+    fleet_samples: list[float] = []
+    for _ in range(repeats):
+        serial_samples.append(_serial_grid_once())
+        fleet_samples.append(_fleet_grid_once(workers, chunk))
+    serial = {
+        "description": (
+            f"cold ch4 grid, {len(GRID_POLICIES)} cells, serial in a "
+            f"fresh process (no warm memo)"
+        ),
+        "cells": len(GRID_POLICIES),
+        "best_seconds": round(min(serial_samples), 4),
+        "samples_seconds": [round(s, 4) for s in serial_samples],
+    }
+    fleet = {
+        "description": (
+            f"cold ch4 grid, {len(GRID_POLICIES)} cells, "
+            f"HttpWorkerBackend over {workers} LocalFleet workers, "
+            f"chunked dispatch ({chunk} cells/request), reps "
+            f"interleaved with the serial baseline"
+        ),
+        "cells": len(GRID_POLICIES),
+        "workers": workers,
+        "chunk_cells": chunk,
+        "best_seconds": round(min(fleet_samples), 4),
+        "samples_seconds": [round(s, 4) for s in fleet_samples],
+        "speedup_vs_serial": round(min(serial_samples) / min(fleet_samples), 3),
+    }
+    return serial, fleet
+
+
+def bench_checkpoint_overhead(repeats: int) -> dict:
+    """Engine checkpointing at every window vs no checkpointing."""
+    import tempfile
+
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1)
+
+    def plain() -> tuple[float, int]:
+        engine = engine_for_spec(spec)
+        started = time.perf_counter()
+        engine.run_to_completion()
+        return time.perf_counter() - started, engine.windows
+
+    def checkpointed() -> tuple[float, int]:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as root:
+            observer = CheckpointObserver(
+                CheckpointFile(Path(root) / "cell.checkpoint.json"),
+                every_windows=1,
+            )
+            engine = engine_for_spec(spec, extra_observers=(observer,))
+            started = time.perf_counter()
+            engine.run_to_completion()
+            return time.perf_counter() - started, engine.windows
+
+    plain_samples, ckpt_samples, windows = [], [], 0
+    for _ in range(repeats):
+        seconds, windows = plain()
+        plain_samples.append(seconds)
+        seconds, windows = checkpointed()
+        ckpt_samples.append(seconds)
+    best_plain = min(plain_samples)
+    best_ckpt = min(ckpt_samples)
+    per_window_us = (best_ckpt - best_plain) / windows * 1e6
     return {
-        "description": f"cold ch4 grid, {len(specs)} cells, SerialBackend",
-        "cells": len(results),
-        "seconds": round(elapsed, 4),
+        "description": (
+            "W1/ts cell with a checkpoint written every window vs none "
+            "(worst-case checkpoint cadence)"
+        ),
+        "windows": windows,
+        "plain_seconds": round(best_plain, 4),
+        "checkpointed_seconds": round(best_ckpt, 4),
+        "overhead_us_per_window": round(per_window_us, 2),
     }
 
 
-def bench_campaign_grid_fleet(workers: int = 2) -> dict:
-    specs = _grid_specs()
-    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as cache:
-        with LocalFleet(workers, env={"REPRO_CACHE_DIR": cache}) as fleet:
-            with HttpWorkerBackend(fleet.urls) as backend:
-                started = time.perf_counter()
-                results = Campaign(
-                    specs, store=MemoryStore(), backend=backend
-                ).run()
-                elapsed = time.perf_counter() - started
+def _killed_fleet_grid(window_slice: int | None) -> dict:
+    """Run one big cell on a 2-worker fleet, killing a worker mid-cell.
+
+    With ``window_slice`` the survivor resumes from the cell's last
+    checkpoint; without it the cell restarts from zero.  The kill fires
+    at a fixed wall delay and targets whichever worker actually holds
+    the cell at that instant (``fleet_stats`` in-flight view), so both
+    variants genuinely lose mid-cell work.
+    """
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=2)
+    # Time the cell solo so the kill lands mid-cell in both variants.
+    solo_engine = engine_for_spec(spec)
+    solo_started = time.perf_counter()
+    solo_engine.run_to_completion()
+    solo_seconds = time.perf_counter() - solo_started
+    kill_after = max(0.2, solo_seconds * 0.6)
+
+    with LocalFleet(2, env={"REPRO_CACHE": "0"}) as fleet:
+        backend = HttpWorkerBackend(
+            fleet.urls,
+            window_slice=window_slice,
+            heartbeat_interval_s=0.25,
+            health_timeout_s=1.0,
+        )
+        with backend:
+            campaign = Campaign(
+                [spec], store=MemoryStore(), backend=backend
+            )
+            results: list = []
+
+            def consume() -> None:
+                results.extend(r for _, r, _, _ in campaign.iter_run())
+
+            started = time.perf_counter()
+            consumer = threading.Thread(target=consume, daemon=True)
+            consumer.start()
+            time.sleep(kill_after)
+            holder = next(
+                (
+                    index
+                    for index, worker in enumerate(backend.fleet_stats())
+                    if worker["in_flight_cells"]
+                ),
+                0,
+            )
+            fleet.kill(holder)
+            consumer.join(timeout=600)
+            elapsed = time.perf_counter() - started
+            stats = backend.dispatch_stats()
+    assert len(results) == 1, "grid did not survive the kill"
+    record = next(iter(stats["cells"].values()), {})
+    return {
+        "solo_cell_seconds": round(solo_seconds, 4),
+        "kill_after_seconds": round(kill_after, 4),
+        "killed_worker": holder,
+        "grid_seconds": round(elapsed, 4),
+        "resumed_from_window": record.get("resumed_from", 0),
+        "slices": record.get("slices", 1),
+    }
+
+
+def bench_resume_vs_restart() -> dict:
+    resumed = _killed_fleet_grid(window_slice=2000)
+    restarted = _killed_fleet_grid(window_slice=None)
     return {
         "description": (
-            f"cold ch4 grid, {len(specs)} cells, HttpWorkerBackend "
-            f"over {workers} LocalFleet workers"
+            "one W1/ts copies=2 cell on a 2-worker fleet, one worker "
+            "SIGKILLed mid-cell: time-sliced resume-from-checkpoint vs "
+            "whole-run restart-from-zero"
         ),
-        "cells": len(results),
-        "workers": workers,
-        "seconds": round(elapsed, 4),
+        "resume": resumed,
+        "restart": restarted,
+        "resume_speedup": round(
+            restarted["grid_seconds"] / resumed["grid_seconds"], 3
+        ),
     }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR4.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR5.json"), metavar="PATH"
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--skip-fleet", action="store_true",
-        help="skip the 2-worker fleet bench (e.g. sandboxes without "
+        help="skip the fleet benches (e.g. sandboxes without "
         "subprocess networking)",
     )
     args = parser.parse_args(argv)
@@ -151,16 +339,23 @@ def main(argv: list[str] | None = None) -> int:
     benches["fig4_3_cell"] = bench_fig4_3_cell(args.repeats)
     print("bench: kernel_window_stream ...", flush=True)
     benches["kernel_window_stream"] = bench_kernel_window_stream(args.repeats)
-    print("bench: campaign_grid_serial ...", flush=True)
-    benches["campaign_grid_serial"] = bench_campaign_grid_serial()
-    if not args.skip_fleet:
-        print("bench: campaign_grid_fleet2 ...", flush=True)
-        benches["campaign_grid_fleet2"] = bench_campaign_grid_fleet()
-        serial_s = benches["campaign_grid_serial"]["seconds"]
-        fleet_s = benches["campaign_grid_fleet2"]["seconds"]
-        benches["campaign_grid_fleet2"]["speedup_vs_serial"] = round(
-            serial_s / fleet_s, 3
-        )
+    print("bench: checkpoint_overhead ...", flush=True)
+    benches["checkpoint_overhead"] = bench_checkpoint_overhead(args.repeats)
+    if args.skip_fleet:
+        print("bench: campaign_grid_serial ...", flush=True)
+        benches["campaign_grid_serial"] = {
+            "description": "cold ch4 grid, serial in a fresh process",
+            "cells": len(GRID_POLICIES),
+            "best_seconds": round(_serial_grid_once(), 4),
+        }
+    else:
+        print("bench: campaign_grid serial vs fleet2 (interleaved) ...",
+              flush=True)
+        serial, fleet = bench_campaign_grids(args.repeats)
+        benches["campaign_grid_serial"] = serial
+        benches["campaign_grid_fleet2"] = fleet
+        print("bench: resume_vs_restart ...", flush=True)
+        benches["resume_vs_restart"] = bench_resume_vs_restart()
 
     document = {
         "schema_version": "1.0",
@@ -168,8 +363,8 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         # Interpret fleet-vs-serial with this in hand: on a one-core
-        # box the fleet can only add overhead; the speedup is real on
-        # multi-core runners.
+        # box the fleet can only win back its own overhead; the
+        # parallel speedup is real on multi-core runners.
         "cpu_count": os.cpu_count(),
         "benches": benches,
     }
@@ -178,7 +373,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {output}")
     for name, bench in benches.items():
         headline = bench.get(
-            "seconds", bench.get("best_seconds", bench.get("batched_seconds"))
+            "best_seconds",
+            bench.get(
+                "seconds",
+                bench.get("batched_seconds", bench.get("checkpointed_seconds")),
+            ),
         )
         extra = (
             f" (speedup {bench['speedup']}x)" if "speedup" in bench else ""
@@ -186,7 +385,17 @@ def main(argv: list[str] | None = None) -> int:
             f" (speedup vs serial {bench['speedup_vs_serial']}x)"
             if "speedup_vs_serial" in bench
             else ""
+        ) + (
+            f" (resume speedup {bench['resume_speedup']}x)"
+            if "resume_speedup" in bench
+            else ""
+        ) + (
+            f" ({bench['overhead_us_per_window']} us/window)"
+            if "overhead_us_per_window" in bench
+            else ""
         )
+        if headline is None and "resume" in bench:
+            headline = bench["resume"]["grid_seconds"]
         print(f"  {name}: {headline}s{extra}")
     return 0
 
