@@ -248,24 +248,41 @@ def _add_backend_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--backend", default=None, choices=BACKEND_CHOICES,
         help="where cells execute: local process pool (sized by --jobs), "
-        "serial (in-process), or http (a worker fleet); without the "
-        "flag, runs are serial unless --jobs > 1 builds a pool",
+        "serial (in-process), vector (in-process, compatible cells "
+        "lock-stepped in gangs — bit-identical to serial), or http (a "
+        "worker fleet); without the flag, runs are serial unless "
+        "--jobs > 1 builds a pool",
     )
     command.add_argument(
         "--workers", default=None, metavar="URL[,URL...]",
         help="comma-separated worker base URLs for --backend http "
         "(start workers with 'python -m repro worker')",
     )
+    command.add_argument(
+        "--batch-cells", default=None, type=int, metavar="N",
+        help="gang width cap for --backend vector (default 16; "
+        "at least 2)",
+    )
 
 
 def _backend_from_args(args: argparse.Namespace):
     """Build the borrowed execution backend the flags describe (or None)."""
     workers = tuple(_split_csv_arg(args.workers)) if args.workers else ()
+    batch_cells = getattr(args, "batch_cells", None)
     if args.backend is None:
         if workers:
             raise ConfigurationError("--workers requires --backend http")
+        if batch_cells is not None:
+            raise ConfigurationError(
+                "--batch-cells requires --backend vector"
+            )
         return None
-    return backend_for(args.backend, jobs=args.jobs, workers=workers)
+    return backend_for(
+        args.backend,
+        jobs=args.jobs,
+        workers=workers,
+        batch_cells=batch_cells,
+    )
 
 
 def _print_json(document) -> None:

@@ -5,6 +5,10 @@ package decides *where*.  An :class:`ExecutionBackend` receives a
 campaign's deduplicated cells and streams back encoded payloads:
 
 - :class:`SerialBackend` — the calling process, one cell at a time.
+- :class:`VectorBackend` — the calling process, with compatible cells
+  lock-stepped in gangs through one grid kernel
+  (:mod:`repro.engine.gang`); bit-identical to serial, much faster on
+  homogeneous grids.
 - :class:`LocalProcessBackend` — a reusable local process pool.
 - :class:`HttpWorkerBackend` — a coordinator sharding cells across
   ``python -m repro worker`` processes over the ``/v1`` JSON protocol,
@@ -21,6 +25,7 @@ from repro.cluster.backends import (
     ExecutionBackend,
     LocalProcessBackend,
     SerialBackend,
+    VectorBackend,
 )
 from repro.cluster.fleet import LocalFleet
 from repro.cluster.http import HttpWorkerBackend
@@ -28,7 +33,10 @@ from repro.cluster.wire import WIRE_VERSION, cell_from_wire, cell_to_wire
 from repro.errors import ClusterError, ConfigurationError
 
 #: The CLI's ``--backend`` vocabulary.
-BACKEND_CHOICES = ("local", "serial", "http")
+BACKEND_CHOICES = ("local", "serial", "vector", "http")
+
+#: Sentinel for "the backend's own default" gang width.
+_DEFAULT_BATCH_CELLS = 16
 
 
 def backend_for(
@@ -36,19 +44,38 @@ def backend_for(
     *,
     jobs: int = 1,
     workers: tuple[str, ...] | list[str] = (),
+    batch_cells: int | None = None,
 ) -> ExecutionBackend:
     """Build an execution backend from CLI-shaped arguments.
 
     ``jobs`` sizes the ``local`` pool; ``workers`` are the ``http``
-    fleet's base URLs.  Mismatched arguments fail loudly — a worker
-    list without ``--backend http`` is almost certainly a mistake.
+    fleet's base URLs; ``batch_cells`` caps the ``vector`` backend's
+    gang width.  Mismatched arguments fail loudly — a worker list
+    without ``--backend http`` is almost certainly a mistake.
     """
+    if batch_cells is not None and name != "vector":
+        raise ConfigurationError(
+            "--batch-cells only applies to --backend vector"
+        )
     if name == "serial":
         if workers:
             raise ConfigurationError("--workers only applies to --backend http")
         if jobs != 1:
             raise ConfigurationError("--jobs does not apply to --backend serial")
         return SerialBackend()
+    if name == "vector":
+        if workers:
+            raise ConfigurationError("--workers only applies to --backend http")
+        if jobs != 1:
+            raise ConfigurationError(
+                "--jobs does not apply to --backend vector: cells run "
+                "in this process, batched through one grid kernel"
+            )
+        return VectorBackend(
+            batch_cells=(
+                _DEFAULT_BATCH_CELLS if batch_cells is None else batch_cells
+            )
+        )
     if name == "local":
         if workers:
             raise ConfigurationError("--workers only applies to --backend http")
@@ -78,6 +105,7 @@ __all__ = [
     "LocalFleet",
     "LocalProcessBackend",
     "SerialBackend",
+    "VectorBackend",
     "WIRE_VERSION",
     "backend_for",
     "cell_from_wire",

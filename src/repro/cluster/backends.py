@@ -34,13 +34,15 @@ layer, so only the in-process memo needs backfilling).
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import ClassVar, Iterator, Sequence
 
-from repro.campaign.engine import run_payload
-from repro.campaign.spec import RunSpec
-from repro.campaign.stores import ResultStore
+from repro.campaign.engine import cached_payload, run_payload
+from repro.campaign.spec import RunSpec, runner_for
+from repro.campaign.stores import ResultStore, default_store
+from repro.engine.gang import plan_gangs
 from repro.errors import ConfigurationError
 
 #: One submitted cell: (cache key, run spec).
@@ -106,6 +108,85 @@ class SerialBackend(ExecutionBackend):
     def iter_results(self) -> Iterator[CellResult]:
         for key, spec in self._cells:
             payload, hit, seconds = run_payload(spec, self._store)
+            yield key, payload, hit, seconds
+
+
+class VectorBackend(ExecutionBackend):
+    """Run compatible cells in lock-stepped gangs, in this process.
+
+    The batch is planned once per :meth:`iter_results` pass with
+    :func:`repro.engine.gang.plan_gangs`: cache misses group into
+    leader/lockstep gangs (capped at ``batch_cells`` members) stepping
+    one :class:`~repro.core.kernel.GridMemSpot` per window, and
+    incompatible leftovers fall back to per-cell serial execution.
+    Results are bit-identical to :class:`SerialBackend` — gangs reuse
+    the exact solo stepping halves and the grid kernel reproduces the
+    scalar float ops — so payloads, and therefore cache keys and
+    envelopes, match byte for byte.
+
+    ``kernel_backend`` picks the grid arithmetic: ``"auto"`` uses NumPy
+    when importable and pure python otherwise, ``"numpy"`` insists,
+    ``"python"`` opts out.  Like :class:`SerialBackend` the results are
+    computed through the campaign's store (``in_process``), with cache
+    hits self-served before any gang runs; unlike serial, cells inside
+    one gang finish together, so streaming granularity is the gang, not
+    the cell, and gang-hosted cells do not surface individual
+    ``/v1/progress`` labels.
+    """
+
+    name = "vector"
+    in_process = True
+    shares_disk = True
+
+    def __init__(
+        self, batch_cells: int = 16, kernel_backend: str = "auto"
+    ) -> None:
+        if batch_cells < 2:
+            raise ConfigurationError("batch_cells must be >= 2")
+        if kernel_backend not in ("auto", "numpy", "python"):
+            raise ConfigurationError(
+                "kernel backend must be 'auto', 'numpy' or 'python', "
+                f"got {kernel_backend!r}"
+            )
+        self.batch_cells = batch_cells
+        self.kernel_backend = kernel_backend
+        self._cells: list[Cell] = []
+        self._store: ResultStore | None = None
+
+    def submit_cells(
+        self, cells: Sequence[Cell], store: ResultStore | None = None
+    ) -> None:
+        self._cells = list(cells)
+        self._store = store
+
+    def iter_results(self) -> Iterator[CellResult]:
+        store = default_store() if self._store is None else self._store
+        misses: list[Cell] = []
+        for key, spec in self._cells:
+            payload = cached_payload(spec, store)
+            if payload is None:
+                misses.append((key, spec))
+            else:
+                yield key, payload, True, 0.0
+        if not misses:
+            return
+        plan = plan_gangs(
+            misses,
+            batch_cells=self.batch_cells,
+            backend=self.kernel_backend,
+        )
+        for planned in plan.gangs:
+            started = time.perf_counter()
+            results = planned.gang.run_to_completion()
+            # The gang's wall time is genuinely joint; attribute an
+            # equal share to each cell so provenance sums correctly.
+            per_cell = (time.perf_counter() - started) / len(results)
+            for (key, spec), result in zip(planned.cells, results):
+                payload = runner_for(spec.kind).encode(result)
+                store.put(key, payload)
+                yield key, payload, False, per_cell
+        for key, spec in plan.solo:
+            payload, hit, seconds = run_payload(spec, store)
             yield key, payload, hit, seconds
 
 

@@ -210,7 +210,12 @@ class HttpWorkerBackend(ExecutionBackend):
         if self.chunk_cells is not None:
             return self.chunk_cells
         slots = max(1, len(self._workers) * self.slots_per_worker)
-        return max(1, math.ceil(cells / (slots * 2)))
+        # Two dispatch waves per slot, but never more than 16 cells per
+        # request: an uncapped chunk on a huge grid (cells >> slots)
+        # serializes whole shards behind single requests, so adding
+        # workers stops shrinking the chunk — and therefore stops
+        # adding parallelism or retry granularity.
+        return max(1, min(math.ceil(cells / (slots * 2)), 16))
 
     def submit_cells(
         self, cells: Sequence[Cell], store: ResultStore | None = None

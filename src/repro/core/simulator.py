@@ -187,6 +187,18 @@ class Chapter4Strategy:
         """The observers every Chapter 4 engine carries."""
         return (self.trace_recorder, ProgressObserver())
 
+    @property
+    def thermally_insensitive(self) -> bool:
+        """Whether the window path ignores the thermal sample.
+
+        True only when the policy never reads its ThermalReading —
+        everything else in :meth:`window` is driven by internal
+        counters, so two runs differing only in thermal parameters
+        then produce identical outcome streams (the leader-gang
+        precondition; see :mod:`repro.engine.gang`).
+        """
+        return getattr(self._policy, "thermally_insensitive", False)
+
     # -- engine protocol ---------------------------------------------------
 
     def done(self, engine: SteppingEngine) -> bool:

@@ -68,6 +68,13 @@ class DTMPolicy(abc.ABC):
     #: Human-readable scheme name ("DTM-ACG", ...).
     name: str = "DTM"
 
+    #: True when :meth:`decide` provably ignores its ThermalReading —
+    #: the opt-in that lets a gang (:mod:`repro.engine.gang`) step one
+    #: leader cell's policy and broadcast the decision to cells that
+    #: differ only thermally.  Leave False for anything that reads a
+    #: temperature, even conditionally.
+    thermally_insensitive: bool = False
+
     @abc.abstractmethod
     def decide(self, reading: ThermalReading, dt_s: float) -> ControlDecision:
         """Produce the actuator state for the next interval."""
@@ -93,6 +100,8 @@ class NoLimitPolicy(DTMPolicy):
     """The ideal system without any thermal limit (the paper's baseline)."""
 
     name = "No-limit"
+    #: The decision is a constant — temperatures are never read.
+    thermally_insensitive = True
 
     def __init__(self, cores: int = 4) -> None:
         self._cores = cores

@@ -10,6 +10,12 @@ Layer stack::
     repro.api / cli       <- envelopes, /v1/progress, --checkpoint-dir
 """
 
+from repro.engine.gang import (
+    GangPlan,
+    GangStrategy,
+    PlannedGang,
+    plan_gangs,
+)
 from repro.engine.observers import (
     CheckpointObserver,
     Observer,
@@ -22,6 +28,7 @@ from repro.engine.state import (
     ENGINE_STATE_VERSION,
     CheckpointFile,
     EngineState,
+    EngineStateSerializer,
 )
 from repro.engine.stepping import RunStrategy, SteppingEngine, WindowOutcome
 
@@ -31,7 +38,11 @@ __all__ = [
     "CheckpointFile",
     "CheckpointObserver",
     "EngineState",
+    "EngineStateSerializer",
+    "GangPlan",
+    "GangStrategy",
     "Observer",
+    "PlannedGang",
     "ProgressBroker",
     "ProgressObserver",
     "RunStrategy",

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.results import TemperatureTrace
 from repro.engine.progress import PROGRESS
-from repro.engine.state import CheckpointFile
+from repro.engine.state import CheckpointFile, EngineStateSerializer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.stepping import SteppingEngine
@@ -74,15 +74,22 @@ class TraceRecorder(Observer):
         self._since_s = float("inf")
 
     def on_window(self, engine: "SteppingEngine") -> None:
+        if not self.enabled:
+            # State is provably unchanged by a disabled window: the
+            # accumulator starts at infinity and only the (enabled)
+            # record branch ever resets it, so ``inf + dt`` is still
+            # infinity — skipping the arithmetic keeps checkpoints
+            # byte-identical while sparing the per-window cost on
+            # trace-less campaign cells.
+            return
         sample = engine.sample
         if self.resolution_s is None:
-            if self.enabled:
-                self.trace.append(
-                    engine.now_s, sample.amb_c, sample.dram_c, sample.ambient_c
-                )
+            self.trace.append(
+                engine.now_s, sample.amb_c, sample.dram_c, sample.ambient_c
+            )
             return
         self._since_s += engine.dt_s
-        if self.enabled and self._since_s >= self.resolution_s:
+        if self._since_s >= self.resolution_s:
             self._since_s = 0.0
             self.trace.append(
                 engine.now_s, sample.amb_c, sample.dram_c, sample.ambient_c
@@ -160,6 +167,13 @@ class CheckpointObserver(Observer):
     :class:`~repro.engine.state.CheckpointFile`: a run interrupted at
     any point leaves either the last complete snapshot or nothing —
     never a torn file, never a stray temp sibling.
+
+    Consecutive snapshots of one run share most of their bytes (the
+    header never changes; the observer states — carrying the whole
+    trace-so-far — change only when the trace grows), so the observer
+    serializes through a per-run
+    :class:`~repro.engine.state.EngineStateSerializer` that re-dumps
+    only the sections whose content moved since the previous write.
     """
 
     def __init__(
@@ -173,10 +187,13 @@ class CheckpointObserver(Observer):
             else CheckpointFile(checkpoint)
         )
         self.every_windows = every_windows
+        self._serializer = EngineStateSerializer()
 
     def on_window(self, engine: "SteppingEngine") -> None:
         if engine.windows % self.every_windows == 0:
-            self.checkpoint.write(engine.checkpoint())
+            self.checkpoint.write(
+                engine.checkpoint(), serializer=self._serializer
+            )
 
     def on_finish(self, engine: "SteppingEngine") -> None:
         # A finished run needs no resume point; leaving one behind

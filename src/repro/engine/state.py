@@ -116,35 +116,135 @@ class EngineState:
             ) from None
 
 
+class EngineStateSerializer:
+    """Incremental :class:`EngineState` -> JSON text, with section reuse.
+
+    Serializing a snapshot from scratch re-dumps every section every
+    time, but between consecutive checkpoints of one run most sections
+    are byte-identical: the strategy/version header never changes, and
+    the observer states — which embed the *entire* trace recorded so
+    far, by far the largest section on trace-recording cells — only
+    change when the trace grows (once per trace-resolution interval,
+    not per window).  This serializer caches each section's serialized
+    text and reuses it while the section's value compares equal, so an
+    every-window checkpoint cadence re-serializes only the small
+    mutable state (clock, accumulators, temperatures).
+
+    The output is byte-identical to
+    ``json.dumps(state.to_dict(), sort_keys=True)`` (a test pins this),
+    so cached and uncached writers publish interchangeable files.  One
+    serializer serves one run's checkpoint stream; sharing it across
+    unrelated runs is safe but defeats the cache.
+    """
+
+    def __init__(self) -> None:
+        self._sections: dict[str, tuple[Any, str]] = {}
+
+    def _section(self, name: str, value: Any) -> str:
+        cached = self._sections.get(name)
+        if cached is not None and cached[0] == value:
+            return cached[1]
+        text = json.dumps(value, sort_keys=True)
+        self._sections[name] = (value, text)
+        return text
+
+    def serialize(self, state: EngineState) -> str:
+        """The snapshot's canonical JSON document."""
+        # Top-level keys in sorted order, matching json.dumps(...,
+        # sort_keys=True) byte for byte.
+        return (
+            '{"accumulators": '
+            + self._section("accumulators", state.accumulators)
+            + ', "now_s": '
+            + json.dumps(state.now_s)
+            + ', "observers": '
+            + self._section("observers", state.observers)
+            + ', "strategy": '
+            + self._section("strategy", state.strategy)
+            + ', "strategy_state": '
+            + self._section("strategy_state", state.strategy_state)
+            + ', "thermal": '
+            + self._section("thermal", state.thermal)
+            + ', "version": '
+            + self._section("version", state.version)
+            + ', "windows": '
+            + json.dumps(state.windows)
+            + "}"
+        )
+
+
 class CheckpointFile:
-    """One on-disk checkpoint slot with atomic write-then-rename."""
+    """One on-disk checkpoint slot with atomic write-then-rename.
+
+    The write path is tuned for the worst-case every-window cadence:
+    the temp-sibling path is computed once per process (not per write),
+    the file I/O goes through raw ``os.open``/``os.write`` instead of
+    the pathlib convenience wrappers, and the parent directory is
+    created on demand (first write) rather than probed per write.
+    """
 
     def __init__(self, path: Path | str) -> None:
         self.path = Path(path)
+        self._path_str = str(self.path)
+        self._tmp_pid = -1
+        self._tmp = ""
+
+    def _tmp_path(self) -> str:
+        # Keyed on the pid so a forked worker inheriting this object
+        # writes its own sibling instead of racing the parent's.
+        pid = os.getpid()
+        if pid != self._tmp_pid:
+            self._tmp_pid = pid
+            self._tmp = f"{self._path_str}.tmp.{pid}"
+        return self._tmp
 
     def exists(self) -> bool:
         """Whether a published checkpoint is present."""
         return self.path.is_file()
 
-    def write(self, state: EngineState) -> None:
+    def write(
+        self,
+        state: EngineState,
+        serializer: EngineStateSerializer | None = None,
+    ) -> None:
         """Atomically publish ``state``, replacing any prior snapshot.
 
         The document is serialized before the temp file opens, so an
         unserializable state aborts before touching disk; any I/O
         failure mid-write unlinks the temp sibling, leaving either the
-        previous valid checkpoint or nothing.
+        previous valid checkpoint or nothing.  A ``serializer`` lets
+        repeat writers (:class:`~repro.engine.observers.CheckpointObserver`)
+        reuse unchanged sections' serialized text between snapshots.
         """
-        text = json.dumps(state.to_dict(), sort_keys=True)
-        tmp = self.path.with_suffix(f"{self.path.suffix}.tmp.{os.getpid()}")
+        if serializer is None:
+            text = json.dumps(state.to_dict(), sort_keys=True)
+        else:
+            text = serializer.serialize(state)
+        data = (text + "\n").encode()
+        tmp = self._tmp_path()
+        flags = os.O_WRONLY | os.O_CREAT | os.O_TRUNC
         try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(text + "\n")
-            os.replace(tmp, self.path)
+            try:
+                fd = os.open(tmp, flags, 0o666)
+            except FileNotFoundError:
+                # First write (or someone removed the directory
+                # mid-run): create the parent and retry.  Probing with
+                # mkdir on *every* write would cost a syscall per
+                # checkpoint on the worst-case every-window cadence.
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(tmp, flags, 0o666)
+            try:
+                view = memoryview(data)
+                while view:
+                    view = view[os.write(fd, view):]
+            finally:
+                os.close(fd)
+            os.replace(tmp, self._path_str)
         except BaseException:
             # KeyboardInterrupt included: an interrupted run must not
             # leave a partial sibling behind.
             try:
-                tmp.unlink(missing_ok=True)
+                os.unlink(tmp)
             except OSError:
                 pass
             raise

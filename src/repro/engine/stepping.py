@@ -181,17 +181,43 @@ class SteppingEngine:
 
     def step_window(self) -> None:
         """Advance exactly one DTM window."""
-        horizon = self.strategy.max_sim_horizon()
-        if horizon is not None and self.now_s > horizon:
-            raise self.strategy.timeout_error(self)
-        outcome = self.strategy.window(self)
-        dt = self.dt_s
+        outcome = self.begin_window()
         sample = self.strategy.memspot.step(
             outcome.read_bytes_per_s,
             outcome.write_bytes_per_s,
             outcome.heating_sum,
-            dt,
+            self.dt_s,
         )
+        self.apply_window(outcome, sample)
+
+    def begin_window(self) -> WindowOutcome:
+        """The pre-thermal half of one window: guard + strategy.
+
+        Runs the runaway-horizon check and the strategy's
+        decision/evaluation/advance, returning the
+        :class:`WindowOutcome` the thermal kernel consumes.  Split out
+        of :meth:`step_window` so the gang runner
+        (:mod:`repro.engine.gang`) can collect many cells' outcomes,
+        step them through one vectorized kernel, and hand each cell's
+        sample back through :meth:`apply_window` — reusing this exact
+        code path keeps gang-stepped cells bit-identical to solo runs.
+        """
+        horizon = self.strategy.max_sim_horizon()
+        if horizon is not None and self.now_s > horizon:
+            raise self.strategy.timeout_error(self)
+        return self.strategy.window(self)
+
+    def apply_window(self, outcome: WindowOutcome, sample: "MemSpotSample") -> None:
+        """The post-thermal half of one window: accounting + observers.
+
+        ``sample`` is the thermal kernel's output for ``outcome`` —
+        normally produced by ``strategy.memspot.step`` inside
+        :meth:`step_window`, or by a :class:`~repro.core.kernel.GridMemSpot`
+        stepping this cell inside a gang.  Every accumulation below
+        keeps the historical floating-point order (part of the
+        bit-identity contract).
+        """
+        dt = self.dt_s
         self.sample = sample
         self.peak_amb_c = max(self.peak_amb_c, sample.amb_c)
         self.peak_dram_c = max(self.peak_dram_c, sample.dram_c)

@@ -266,7 +266,7 @@ def test_backend_for_factory():
     assert isinstance(local, LocalProcessBackend) and local.jobs == 3
     http = backend_for("http", workers=["127.0.0.1:9001"])
     assert isinstance(http, HttpWorkerBackend)
-    assert set(BACKEND_CHOICES) == {"local", "serial", "http"}
+    assert set(BACKEND_CHOICES) == {"local", "serial", "vector", "http"}
     with pytest.raises(ConfigurationError, match="needs --workers"):
         backend_for("http")
     with pytest.raises(ConfigurationError, match="only applies"):
@@ -504,3 +504,10 @@ def test_http_backend_dispatch_option_validation():
     # Auto-chunking: two dispatch waves per slot; slicing forces 1.
     assert HttpWorkerBackend(workers)._auto_chunk(8) == 4
     assert HttpWorkerBackend(workers, window_slice=10)._auto_chunk(8) == 1
+    # Huge grids cap at 16 cells per request, so the chunk count keeps
+    # scaling with the worker count instead of serializing whole
+    # shards behind single requests.
+    assert HttpWorkerBackend(workers)._auto_chunk(1000) == 16
+    two = ["127.0.0.1:9001", "127.0.0.1:9002"]
+    assert HttpWorkerBackend(two)._auto_chunk(1000) == 16
+    assert HttpWorkerBackend(two)._auto_chunk(8) == 2  # small grids unchanged

@@ -209,19 +209,17 @@ def test_checkpoint_file_write_is_atomic_and_cleans_tmp_on_failure(
     good = checkpoint.load()
 
     engine.step_windows(30)
-    import pathlib
+    import os
 
-    real_write_text = pathlib.Path.write_text
+    real_write = os.write
 
-    def failing_write_text(self, *args, **kwargs):
-        if ".tmp." in self.name:
-            # Simulate the process dying mid-write: the temp file
-            # exists but the content never lands.
-            real_write_text(self, "{'torn':", **kwargs)
-            raise KeyboardInterrupt
-        return real_write_text(self, *args, **kwargs)
+    def failing_write(fd, data):
+        # Simulate the process dying mid-write: the temp file exists
+        # but only a torn prefix of the content lands.
+        real_write(fd, b"{'torn':")
+        raise KeyboardInterrupt
 
-    monkeypatch.setattr(pathlib.Path, "write_text", failing_write_text)
+    monkeypatch.setattr("repro.engine.state.os.write", failing_write)
     with pytest.raises(KeyboardInterrupt):
         checkpoint.write(engine.checkpoint())
     monkeypatch.undo()

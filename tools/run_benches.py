@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the key benchmarks and emit a machine-readable ``BENCH_PR5.json``.
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR6.json``.
 
-The bench trajectory continues from ``BENCH_PR4.json``: one small,
+The bench trajectory continues from ``BENCH_PR5.json``: one small,
 fast, deterministic-in-shape bundle that CI runs on every push and
 uploads as an artifact, so regressions in the hot paths show up as a
 diffable JSON file instead of anecdotes.  Current probes:
@@ -10,16 +10,27 @@ diffable JSON file instead of anecdotes.  Current probes:
   (W1/ts), uncached, best of ``--repeats``.
 - ``kernel_window_stream`` — the batched thermal kernel vs the scalar
   one on an identical window stream (the PR 2 speedup, tracked).
+- ``gang_vs_serial`` — a 32-cell homogeneous no-limit grid (an inlet
+  sweep) per-cell serial vs one leader gang lock-stepped through
+  ``GridMemSpot``, on the pure-python backend and (when importable)
+  the NumPy one.  Per-cell payloads are asserted byte-identical to
+  the serial baseline, and the speedups are asserted against floors
+  (>= 1.2x pure python, >= 3x NumPy) so a vectorization regression
+  fails the bench instead of drifting.
 - ``campaign_grid_serial`` / ``campaign_grid_fleet2`` — the 8-cell ch4
   grid cold through an in-process serial run vs an
   ``HttpWorkerBackend`` over a 2-worker :class:`LocalFleet` with
   chunked dispatch (one request per worker), measuring the scale-out
-  path end to end (worker boot excluded).  Unlike BENCH_PR4 — whose
-  serial baseline accidentally reused the window-model memo warmed by
-  the earlier probes in the same process — **both** sides now run in
-  cold processes, so the comparison is apples to apples.
+  path end to end (worker boot excluded).  Both sides run in cold
+  processes, so the comparison is apples to apples.
 - ``checkpoint_overhead`` — per-window cost of engine checkpointing at
   its most aggressive setting (a checkpoint written every window).
+  Two regression assertions: the optimized observer path (section-
+  reuse serializer + raw-``os`` writes) must beat the naive PR-5-era
+  re-dump + pathlib path run interleaved on the same filesystem
+  (relative, so disk weather cancels), and the CPU-side cost per
+  checkpoint (snapshot + serialize + encode, no I/O) must stay under
+  an absolute 60 us budget.
 - ``resume_vs_restart`` — a 2-worker fleet loses a worker mid-cell;
   wall clock of the grid with time-sliced (resume-from-checkpoint)
   dispatch vs whole-run (restart-from-zero) dispatch.
@@ -54,10 +65,17 @@ from repro.campaign import (  # noqa: E402
     engine_for_spec,
     run_payload,
 )
+from repro.campaign.spec import runner_for  # noqa: E402
 from repro.cluster import HttpWorkerBackend, LocalFleet  # noqa: E402
-from repro.core.kernel import BatchedMemSpot  # noqa: E402
+from repro.core.kernel import BatchedMemSpot, _import_numpy  # noqa: E402
+from repro.engine import plan_gangs  # noqa: E402
 from repro.core.memspot import MemSpot  # noqa: E402
-from repro.engine import CheckpointFile, CheckpointObserver  # noqa: E402
+from repro.engine import (  # noqa: E402
+    CheckpointFile,
+    CheckpointObserver,
+    EngineStateSerializer,
+    Observer,
+)
 from repro.params.thermal_params import AOHS_1_5, ISOLATED_AMBIENT  # noqa: E402
 
 #: The campaign grid both execution paths run (cold, copies=1): all
@@ -133,6 +151,99 @@ def bench_kernel_window_stream(repeats: int) -> dict:
     }
 
 
+#: Speedup floors for the gang bench (the PR 6 acceptance bar): losing
+#: grid vectorization shows up as a failed bench run, not silent drift.
+GANG_MIN_SPEEDUP_PYTHON = 1.2
+GANG_MIN_SPEEDUP_NUMPY = 3.0
+
+
+def bench_gang_vs_serial(repeats: int, cells: int = 32) -> dict:
+    """A homogeneous no-limit inlet sweep: per-cell serial vs one gang.
+
+    All cells share the workload axes and the no-limit policy is
+    thermally insensitive, so the whole grid forms a single leader
+    gang — the best case grid vectorization exists for.  Reps are
+    interleaved so machine-load drift hits every variant equally; the
+    per-cell payloads must equal the serial baseline's byte for byte.
+    """
+    specs = [
+        Chapter4Spec(
+            mix="W1", policy="no-limit", copies=1, inlet_delta_c=0.25 * i
+        )
+        for i in range(cells)
+    ]
+    grid = [(spec.key(), spec) for spec in specs]
+    encode = runner_for("ch4").encode
+
+    def serial_once() -> tuple[float, dict[str, dict]]:
+        started = time.perf_counter()
+        payloads = {
+            key: encode(engine_for_spec(spec).run_to_completion())
+            for key, spec in grid
+        }
+        return time.perf_counter() - started, payloads
+
+    def gang_once(backend: str) -> tuple[float, dict[str, dict]]:
+        # Planning (and therefore engine construction) is part of the
+        # timed region, mirroring the serial side's engine_for_spec.
+        started = time.perf_counter()
+        plan = plan_gangs(grid, batch_cells=len(grid), backend=backend)
+        assert not plan.solo and len(plan.gangs) == 1, "expected one gang"
+        (planned,) = plan.gangs
+        assert planned.gang.mode == "leader", planned.gang.mode
+        payloads = {
+            key: encode(result)
+            for (key, _), result in zip(
+                planned.cells, planned.gang.run_to_completion()
+            )
+        }
+        return time.perf_counter() - started, payloads
+
+    backends = ["python"] + (["numpy"] if _import_numpy() is not None else [])
+    serial_samples: list[float] = []
+    gang_samples: dict[str, list[float]] = {name: [] for name in backends}
+    baseline: dict[str, dict] | None = None
+    for _ in range(repeats):
+        seconds, payloads = serial_once()
+        serial_samples.append(seconds)
+        if baseline is None:
+            baseline = payloads
+        assert payloads == baseline, "serial reps must be deterministic"
+        for name in backends:
+            seconds, payloads = gang_once(name)
+            gang_samples[name].append(seconds)
+            assert payloads == baseline, (
+                f"gang ({name}) payloads differ from the serial baseline"
+            )
+
+    best_serial = min(serial_samples)
+    result = {
+        "description": (
+            f"{cells}-cell homogeneous W1/no-limit inlet sweep: per-cell "
+            f"serial vs one leader gang (payloads byte-identical)"
+        ),
+        "cells": cells,
+        "serial_seconds": round(best_serial, 4),
+        "numpy_available": "numpy" in backends,
+    }
+    for name in backends:
+        best = min(gang_samples[name])
+        speedup = best_serial / best
+        floor = (
+            GANG_MIN_SPEEDUP_NUMPY
+            if name == "numpy"
+            else GANG_MIN_SPEEDUP_PYTHON
+        )
+        assert speedup >= floor, (
+            f"gang ({name}) speedup {speedup:.2f}x fell below the "
+            f"{floor}x floor (serial {best_serial:.3f}s vs gang {best:.3f}s)"
+        )
+        result[f"gang_{name}_seconds"] = round(best, 4)
+        result[f"speedup_{name}"] = round(speedup, 3)
+        result[f"min_speedup_{name}"] = floor
+    return result
+
+
 def _serial_grid_once() -> float:
     driver = _SERIAL_DRIVER.format(
         src=str(REPO_ROOT / "src"), policies=tuple(GRID_POLICIES)
@@ -199,6 +310,28 @@ def bench_campaign_grids(repeats: int, workers: int = 2) -> tuple[dict, dict]:
     return serial, fleet
 
 
+class _NaiveCheckpointWriter(Observer):
+    """The PR-5-era checkpoint path: full re-dump + pathlib write.
+
+    Kept here as the bench's comparison arm — this is what
+    :class:`~repro.engine.observers.CheckpointObserver` did before the
+    section-reuse serializer and the raw-``os`` write path, and what it
+    must keep beating.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+
+    def on_window(self, engine) -> None:
+        state = engine.checkpoint()
+        text = json.dumps(state.to_dict(), sort_keys=True)
+        tmp = self.path.with_suffix(
+            f"{self.path.suffix}.tmp.{os.getpid()}"
+        )
+        tmp.write_text(text + "\n")
+        os.replace(tmp, self.path)
+
+
 def bench_checkpoint_overhead(repeats: int) -> dict:
     """Engine checkpointing at every window vs no checkpointing."""
     import tempfile
@@ -211,35 +344,85 @@ def bench_checkpoint_overhead(repeats: int) -> dict:
         engine.run_to_completion()
         return time.perf_counter() - started, engine.windows
 
-    def checkpointed() -> tuple[float, int]:
+    def checkpointed(optimized: bool) -> tuple[float, int]:
         with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as root:
-            observer = CheckpointObserver(
-                CheckpointFile(Path(root) / "cell.checkpoint.json"),
-                every_windows=1,
-            )
+            path = Path(root) / "cell.checkpoint.json"
+            observer: Observer
+            if optimized:
+                observer = CheckpointObserver(
+                    CheckpointFile(path), every_windows=1
+                )
+            else:
+                observer = _NaiveCheckpointWriter(path)
             engine = engine_for_spec(spec, extra_observers=(observer,))
             started = time.perf_counter()
             engine.run_to_completion()
             return time.perf_counter() - started, engine.windows
 
-    plain_samples, ckpt_samples, windows = [], [], 0
+    plain_samples: list[float] = []
+    opt_samples: list[float] = []
+    naive_samples: list[float] = []
+    windows = 0
     for _ in range(repeats):
         seconds, windows = plain()
         plain_samples.append(seconds)
-        seconds, windows = checkpointed()
-        ckpt_samples.append(seconds)
+        seconds, windows = checkpointed(optimized=True)
+        opt_samples.append(seconds)
+        seconds, windows = checkpointed(optimized=False)
+        naive_samples.append(seconds)
     best_plain = min(plain_samples)
-    best_ckpt = min(ckpt_samples)
-    per_window_us = (best_ckpt - best_plain) / windows * 1e6
+    best_opt = min(opt_samples)
+    best_naive = min(naive_samples)
+    per_window_us = (best_opt - best_plain) / windows * 1e6
+    naive_us = (best_naive - best_plain) / windows * 1e6
+
+    # Regression assertion 1 — relative, weather-proof.  The wall-clock
+    # per-window number is dominated by two fsync-free syscalls (open +
+    # rename) whose cost on a journaled filesystem swings 2-3x with
+    # unrelated disk load, so an absolute wall-clock budget mostly
+    # tests the weather.  Both write paths run interleaved in this
+    # process against the same filesystem, so the comparison is fair:
+    # the optimized path (section-reuse serializer + raw-os writes)
+    # must not lose to the naive re-dump + pathlib path it replaced.
+    assert best_opt <= best_naive * 1.10, (
+        f"optimized checkpoint path ({best_opt:.3f}s, "
+        f"{per_window_us:.1f} us/window) lost to the naive re-dump path "
+        f"({best_naive:.3f}s, {naive_us:.1f} us/window)"
+    )
+
+    # Regression assertion 2 — absolute, deterministic.  The CPU-side
+    # cost per checkpoint (snapshot build + section-cached serialize +
+    # encode, no I/O) does not depend on disk weather, so IT gets the
+    # absolute budget: ~20 us/checkpoint measured, 60 allows for slow
+    # CI runners while still catching a gross CPU regression.
+    engine = engine_for_spec(spec)
+    engine.step_windows(500)
+    serializer = EngineStateSerializer()
+    serializer.serialize(engine.checkpoint())  # warm the section cache
+    cpu_rounds = 2000
+    started = time.perf_counter()
+    for _ in range(cpu_rounds):
+        (serializer.serialize(engine.checkpoint()) + "\n").encode()
+    cpu_us = (time.perf_counter() - started) / cpu_rounds * 1e6
+    cpu_budget_us = 60.0
+    assert cpu_us <= cpu_budget_us, (
+        f"CPU-side checkpoint cost {cpu_us:.1f} us/checkpoint exceeds "
+        f"the {cpu_budget_us} us budget"
+    )
     return {
         "description": (
             "W1/ts cell with a checkpoint written every window vs none "
-            "(worst-case checkpoint cadence)"
+            "(worst-case checkpoint cadence); the optimized observer "
+            "path is raced against the naive PR-5-era write path"
         ),
         "windows": windows,
         "plain_seconds": round(best_plain, 4),
-        "checkpointed_seconds": round(best_ckpt, 4),
+        "checkpointed_seconds": round(best_opt, 4),
+        "naive_checkpointed_seconds": round(best_naive, 4),
         "overhead_us_per_window": round(per_window_us, 2),
+        "naive_overhead_us_per_window": round(naive_us, 2),
+        "cpu_us_per_checkpoint": round(cpu_us, 2),
+        "cpu_budget_us_per_checkpoint": cpu_budget_us,
     }
 
 
@@ -324,7 +507,7 @@ def bench_resume_vs_restart() -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR5.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR6.json"), metavar="PATH"
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -339,6 +522,8 @@ def main(argv: list[str] | None = None) -> int:
     benches["fig4_3_cell"] = bench_fig4_3_cell(args.repeats)
     print("bench: kernel_window_stream ...", flush=True)
     benches["kernel_window_stream"] = bench_kernel_window_stream(args.repeats)
+    print("bench: gang_vs_serial ...", flush=True)
+    benches["gang_vs_serial"] = bench_gang_vs_serial(args.repeats)
     print("bench: checkpoint_overhead ...", flush=True)
     benches["checkpoint_overhead"] = bench_checkpoint_overhead(args.repeats)
     if args.skip_fleet:
@@ -376,11 +561,24 @@ def main(argv: list[str] | None = None) -> int:
             "best_seconds",
             bench.get(
                 "seconds",
-                bench.get("batched_seconds", bench.get("checkpointed_seconds")),
+                bench.get(
+                    "batched_seconds",
+                    bench.get(
+                        "checkpointed_seconds", bench.get("serial_seconds")
+                    ),
+                ),
             ),
         )
         extra = (
             f" (speedup {bench['speedup']}x)" if "speedup" in bench else ""
+        ) + (
+            f" (gang python {bench['speedup_python']}x)"
+            if "speedup_python" in bench
+            else ""
+        ) + (
+            f" (gang numpy {bench['speedup_numpy']}x)"
+            if "speedup_numpy" in bench
+            else ""
         ) + (
             f" (speedup vs serial {bench['speedup_vs_serial']}x)"
             if "speedup_vs_serial" in bench
