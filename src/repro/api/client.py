@@ -40,9 +40,10 @@ from repro.campaign import (
     cached_payload,
     default_store,
     engine_for_spec,
-    run_cached,
+    run_outcome,
     run_payload,
     runner_for,
+    spec_meta,
 )
 from repro.engine import CheckpointFile, CheckpointObserver, EngineState
 from repro.engine.progress import PROGRESS
@@ -215,7 +216,7 @@ class ReproClient:
             result = engine.finish()
         payload = runner_for(spec.kind).encode(result)
         store = default_store() if self._store is None else self._store
-        store.put(key, payload)
+        store.put(key, payload, meta=spec_meta(spec))
         entry.update(payload=payload, cache="miss")
         return entry
 
@@ -293,7 +294,7 @@ class ReproClient:
         runner = runner_for(spec.kind)
         payload = runner.encode(result)
         store = default_store() if self._store is None else self._store
-        store.put(key, payload)
+        store.put(key, payload, meta=spec_meta(spec))
         # Hand back the decode of the stored payload — the same shape a
         # cached or campaign-computed call returns.
         return self._envelope(
@@ -319,8 +320,11 @@ class ReproClient:
     # -- internals ---------------------------------------------------------
 
     def _run_cell(self, spec: RunSpec, echo: dict) -> ResultEnvelope:
-        result, hit, seconds = run_cached(spec, store=self._store)
-        return self._envelope(spec, result, hit, seconds, echo)
+        outcome = run_outcome(spec, store=self._store)
+        return self._envelope(
+            spec, outcome.result, outcome.hit, outcome.compute_seconds,
+            echo, outcome.store_info,
+        )
 
     def _table(
         self, request: CampaignRequest | ScenarioRequest
@@ -339,8 +343,11 @@ class ReproClient:
         campaign = Campaign(
             specs, jobs=jobs, store=self._store, backend=self._backend
         )
-        for spec, result, hit, seconds in campaign.iter_run():
-            yield self._envelope(spec, result, hit, seconds, _cell_echo(spec))
+        for spec, outcome in campaign.iter_outcomes():
+            yield self._envelope(
+                spec, outcome.result, outcome.hit, outcome.compute_seconds,
+                _cell_echo(spec), outcome.store_info,
+            )
 
     def _envelope(
         self,
@@ -349,7 +356,9 @@ class ReproClient:
         hit: bool,
         elapsed: float,
         echo: dict,
+        store_info: dict | None = None,
     ) -> ResultEnvelope:
+        store_info = store_info or {}
         return ResultEnvelope(
             kind=spec.kind,
             scenario=getattr(spec, "scenario", None),
@@ -359,5 +368,7 @@ class ReproClient:
                 cache="hit" if hit else "miss",
                 cache_key=spec.key(),
                 compute_seconds=round(elapsed, 6),
+                shard=store_info.get("shard"),
+                single_flight=store_info.get("single_flight"),
             ),
         )

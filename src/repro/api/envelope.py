@@ -21,7 +21,12 @@ no cacheable spec, emits a plain versioned summary instead):
 - ``provenance`` — cache hit/miss, the spec cache key, the engine's
   ``CACHE_VERSION``, and the wall seconds spent computing (0 on a hit,
   so a warm cell serializes deterministically: the same request yields
-  byte-identical JSON from the CLI and the HTTP service).
+  byte-identical JSON from the CLI and the HTTP service).  Since 1.1
+  it may additionally carry ``shard`` (which shard of a sharded store
+  holds a freshly computed payload) and ``single_flight``
+  (``"coalesced"`` when the result was served by another thread's
+  in-flight compute).  Both are omitted — not null — when absent, so
+  plain warm envelopes remain byte-identical across store layouts.
 
 ``to_dict``/``from_dict`` round-trip losslessly; :meth:`to_json` is the
 canonical serialization (sorted keys, two-space indent) shared by every
@@ -39,7 +44,8 @@ from repro.errors import ConfigurationError
 
 #: Envelope schema version.  Bump the minor for additive changes, the
 #: major for breaking ones (see the module docstring for the rules).
-SCHEMA_VERSION = "1.0"
+#: 1.1: optional ``shard``/``single_flight`` provenance fields.
+SCHEMA_VERSION = "1.1"
 
 #: Provenance values for the ``cache`` field.
 _CACHE_STATES = ("hit", "miss")
@@ -76,6 +82,13 @@ class Provenance:
     cache_version: str = CACHE_VERSION
     #: Wall seconds spent executing the run; 0.0 for a cache hit.
     compute_seconds: float = 0.0
+    #: Shard (directory name) of a sharded store that holds a freshly
+    #: computed payload; None (and omitted from the dict form) when
+    #: the store is unsharded or the result was a plain warm hit.
+    shard: str | None = None
+    #: ``"coalesced"`` when this result was served by another thread's
+    #: in-flight compute of the same cell; None (omitted) otherwise.
+    single_flight: str | None = None
 
     def __post_init__(self) -> None:
         if self.cache not in _CACHE_STATES:
@@ -85,13 +98,23 @@ class Provenance:
             )
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-ready)."""
-        return {
+        """Plain-dict form (JSON-ready).
+
+        The optional 1.1 fields are omitted (not emitted as null) when
+        absent, keeping plain warm envelopes byte-identical to 1.0
+        emitters modulo ``schema_version``.
+        """
+        document = {
             "cache": self.cache,
             "cache_key": self.cache_key,
             "cache_version": self.cache_version,
             "compute_seconds": self.compute_seconds,
         }
+        if self.shard is not None:
+            document["shard"] = self.shard
+        if self.single_flight is not None:
+            document["single_flight"] = self.single_flight
+        return document
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, Any]) -> "Provenance":

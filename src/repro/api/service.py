@@ -40,8 +40,12 @@ GET passes axes as query parameters (comma-separated lists, e.g.
 
 The server is threaded, so concurrent clients share the process-wide
 memory memo and the on-disk cache: any cell computed once is served
-from cache to every later request.  (There is no single-flight dedup —
-identical *simultaneous* cold requests may each compute the cell.)
+from cache to every later request.  Identical *simultaneous* cold
+requests are single-flighted: the default store stack coalesces them
+(:class:`~repro.campaign.stores.SingleFlightStore`), so N handler
+threads asking for the same cold cell trigger exactly one compute —
+the others wait and answer with the leader's payload, their envelopes
+marked ``provenance.single_flight = "coalesced"``.
 """
 
 from __future__ import annotations

@@ -13,9 +13,11 @@ execute, cache, and order runs.
 
 from repro.campaign.engine import (
     Campaign,
+    RunOutcome,
     cached_payload,
     run,
     run_cached,
+    run_outcome,
     run_payload,
     sweep,
 )
@@ -24,51 +26,73 @@ from repro.campaign.spec import (
     Runner,
     RunSpec,
     engine_for_spec,
+    key_for_fields,
     register_runner,
     register_spec_type,
     registered_kinds,
     runner_for,
+    spec_fields,
     spec_key,
     spec_kinds_with_types,
+    spec_meta,
     spec_type_for,
 )
 from repro.campaign.stores import (
     GLOBAL_MEMORY,
     JsonDirStore,
     MemoryStore,
+    MigrationReport,
     NullStore,
     ResultStore,
+    ShardedStore,
+    SingleFlightStore,
     TieredStore,
     cache_dir,
+    cache_shards,
+    default_disk_store,
     default_store,
     disk_cache_enabled,
+    migrate,
+    register_rewriter,
 )
 
 __all__ = [
     "Campaign",
+    "RunOutcome",
     "cached_payload",
     "run",
     "run_cached",
+    "run_outcome",
     "run_payload",
     "sweep",
     "CACHE_VERSION",
     "Runner",
     "RunSpec",
     "engine_for_spec",
+    "key_for_fields",
     "register_runner",
     "register_spec_type",
     "registered_kinds",
     "runner_for",
+    "spec_fields",
     "spec_key",
     "spec_kinds_with_types",
+    "spec_meta",
     "spec_type_for",
     "GLOBAL_MEMORY",
     "JsonDirStore",
     "MemoryStore",
+    "MigrationReport",
     "NullStore",
     "ResultStore",
+    "ShardedStore",
+    "SingleFlightStore",
     "TieredStore",
     "cache_dir",
+    "cache_shards",
+    "default_disk_store",
     "default_store",
     "disk_cache_enabled",
+    "migrate",
+    "register_rewriter",
 ]

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import itertools
 import time
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.campaign.spec import RunSpec, runner_for
+from repro.campaign.spec import RunSpec, runner_for, spec_meta
 from repro.campaign.stores import GLOBAL_MEMORY, ResultStore, default_store
 from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError
@@ -49,33 +50,67 @@ def _decode_cached(kind: str, key: str, payload: dict) -> Any:
     return result
 
 
-def _payload_and_result(
-    spec: RunSpec, store: ResultStore
-) -> tuple[dict, Any, bool, float]:
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything one cached run reports.
+
+    ``store_info`` is the store's provenance for the access — the
+    shard that holds a freshly computed payload, or
+    ``{"single_flight": "coalesced"}`` when this call was served by
+    another thread's in-flight compute.  Plain warm hits report ``{}``
+    so warm envelopes stay byte-identical across store layouts.
+    """
+
+    payload: dict
+    result: Any
+    hit: bool
+    compute_seconds: float
+    store_info: dict = field(default_factory=dict)
+
+
+def _outcome(spec: RunSpec, store: ResultStore) -> RunOutcome:
     """Run ``spec`` unless cached.
 
-    Returns ``(payload, result, cache_hit, compute_seconds)`` where
     ``compute_seconds`` is the wall time of the runner's ``execute``
     call alone (0.0 on a hit) — measured here, at the source, so pool
     workers report their own per-cell cost instead of the consumer
-    guessing from yield-to-yield gaps.
+    guessing from yield-to-yield gaps.  The lookup-then-compute goes
+    through the store's ``get_or_compute`` transaction, so a
+    single-flight store coalesces concurrent identical cells.
     """
     runner = runner_for(spec.kind)
     key = spec.key()
-    payload = store.get(key)
-    if payload is not None:
+
+    def validate(payload: dict) -> bool:
+        # A payload written under an older result schema won't decode;
+        # treat it as a miss and recompute.
+        return _decode_cached(spec.kind, key, payload) is not None
+
+    def compute() -> tuple[dict, dict]:
+        started = time.perf_counter()
+        # Label the execution with its cache key so engine-hosted runs
+        # surface live snapshots under /v1/progress (no-op for
+        # consumers that never read the broker).
+        with PROGRESS.track(key):
+            fresh = runner.execute(spec)
+        seconds = time.perf_counter() - started
+        return runner.encode(fresh), {"compute_seconds": seconds}
+
+    payload, hit, info = store.get_or_compute(
+        key, compute, meta=spec_meta(spec), validate=validate
+    )
+    info = dict(info)
+    if hit:
         result = _decode_cached(spec.kind, key, payload)
-        if result is not None:
-            return payload, result, True, 0.0
-    started = time.perf_counter()
-    # Label the execution with its cache key so engine-hosted runs
-    # surface live snapshots under /v1/progress (no-op for consumers
-    # that never read the broker).
-    with PROGRESS.track(key):
-        fresh = runner.execute(spec)
-    compute_seconds = time.perf_counter() - started
-    payload = runner.encode(fresh)
-    store.put(key, payload)
+        if result is None:
+            # Only reachable for a coalesced payload (validated hits
+            # passed ``validate`` above): the leader just produced a
+            # payload that won't decode, which is a codec bug.
+            raise ConfigurationError(
+                f"runner codec for kind {spec.kind!r} cannot round-trip "
+                f"its result"
+            )
+        return RunOutcome(payload, result, True, 0.0, info)
     result = _decode(spec.kind, payload)
     if result is None:
         # A just-produced payload that won't decode is a codec bug;
@@ -86,7 +121,18 @@ def _payload_and_result(
             f"runner codec for kind {spec.kind!r} cannot round-trip its result"
         )
     _DECODE_MEMO[key] = result
-    return payload, result, False, compute_seconds
+    compute_seconds = float(info.pop("compute_seconds", 0.0))
+    return RunOutcome(payload, result, False, compute_seconds, info)
+
+
+def _payload_and_result(
+    spec: RunSpec, store: ResultStore
+) -> tuple[dict, Any, bool, float]:
+    """Back-compat 4-tuple view of :func:`_outcome`."""
+    outcome = _outcome(spec, store)
+    return (
+        outcome.payload, outcome.result, outcome.hit, outcome.compute_seconds
+    )
 
 
 def cached_payload(spec: RunSpec, store: ResultStore | None = None) -> dict | None:
@@ -116,6 +162,20 @@ def run(spec: RunSpec, store: ResultStore | None = None) -> Any:
     return run_cached(spec, store)[0]
 
 
+def run_outcome(
+    spec: RunSpec, store: ResultStore | None = None
+) -> RunOutcome:
+    """Run (or recall) one spec, reporting full provenance.
+
+    The richest single-cell entry point: payload, decoded result,
+    hit/miss, execute wall time, and the store's placement /
+    single-flight info (see :class:`RunOutcome`).  ``run``,
+    ``run_cached``, and ``run_payload`` are narrower views of this.
+    """
+    store = default_store() if store is None else store
+    return _outcome(spec, store)
+
+
 def run_cached(
     spec: RunSpec, store: ResultStore | None = None
 ) -> tuple[Any, bool, float]:
@@ -127,9 +187,8 @@ def run_cached(
     wall time (0.0 on a hit) — the provenance the :mod:`repro.api`
     envelopes record, measured identically to :meth:`Campaign.iter_run`.
     """
-    store = default_store() if store is None else store
-    _, result, hit, compute_seconds = _payload_and_result(spec, store)
-    return result, hit, compute_seconds
+    outcome = run_outcome(spec, store)
+    return outcome.result, outcome.hit, outcome.compute_seconds
 
 
 def run_payload(
@@ -142,9 +201,8 @@ def run_payload(
     JSON-serializable, so they cross process and HTTP boundaries and
     can be written into any :class:`ResultStore` unchanged.
     """
-    store = default_store() if store is None else store
-    payload, _, hit, compute_seconds = _payload_and_result(spec, store)
-    return payload, hit, compute_seconds
+    outcome = run_outcome(spec, store)
+    return outcome.payload, outcome.hit, outcome.compute_seconds
 
 
 def sweep(
@@ -261,10 +319,23 @@ class Campaign:
         shuts down the campaign-owned backend; a borrowed backend stays
         open for its owner to reuse or close.
         """
+        for spec, outcome in self.iter_outcomes():
+            yield spec, outcome.result, outcome.hit, outcome.compute_seconds
+
+    def iter_outcomes(self) -> Iterator[tuple[RunSpec, "RunOutcome"]]:
+        """Stream ``(spec, RunOutcome)`` in spec order.
+
+        Like :meth:`iter_run` but carrying the full provenance,
+        including the store's placement / single-flight info for each
+        cell (``{}`` for warm hits and duplicate-spec repeats).
+        """
         unique: dict[str, RunSpec] = {}
         for spec in self.specs:
             unique.setdefault(spec.key(), spec)
-        seen: dict[str, tuple[dict, bool, float]] = {}
+        #: key -> spec for backfill metadata, surviving warm-serve
+        #: deletions from ``unique``.
+        spec_of = dict(unique)
+        seen: dict[str, tuple[dict, bool, float, dict]] = {}
         backend = self.backend
         owned = backend is None
         if owned:
@@ -279,7 +350,7 @@ class Campaign:
                     continue
                 if _decode_cached(spec.kind, key, payload) is None:
                     continue  # stale-schema payload: recompute
-                seen[key] = (payload, True, 0.0)
+                seen[key] = (payload, True, 0.0, {})
                 del unique[key]
         backfill = self._backfill_store(backend)
         try:
@@ -291,23 +362,40 @@ class Campaign:
             for spec in self.specs:
                 key = spec.key()
                 if key in emitted:
-                    yield spec, self._decoded(spec, emitted[key]), True, 0.0
+                    yield spec, RunOutcome(
+                        emitted[key], self._decoded(spec, emitted[key]),
+                        True, 0.0, {},
+                    )
                     continue
                 while key not in seen:
                     try:
-                        done_key, payload, hit, seconds = next(results)
+                        item = next(results)
                     except StopIteration:
                         raise ConfigurationError(
                             f"execution backend "
                             f"{type(backend).__name__} finished without "
                             f"delivering cell {key}"
                         ) from None
-                    seen[done_key] = (payload, hit, seconds)
+                    # Backends yield 5-tuples; tolerate legacy 4-tuples
+                    # from out-of-tree implementations.
+                    done_key, payload, hit, seconds = item[:4]
+                    info = item[4] if len(item) > 4 else {}
+                    seen[done_key] = (payload, hit, seconds, info)
                     if backfill is not None:
-                        backfill.put(done_key, payload)
-                payload, hit, seconds = seen.pop(key)
+                        done_spec = spec_of.get(done_key)
+                        backfill.put(
+                            done_key, payload,
+                            meta=(
+                                spec_meta(done_spec)
+                                if done_spec is not None else None
+                            ),
+                        )
+                payload, hit, seconds, info = seen.pop(key)
                 emitted[key] = payload
-                yield spec, self._decoded(spec, payload), hit, seconds
+                yield spec, RunOutcome(
+                    payload, self._decoded(spec, payload), hit, seconds,
+                    dict(info),
+                )
         finally:
             if owned:
                 backend.close()

@@ -40,6 +40,29 @@ class RunSpec(Protocol):
         ...
 
 
+def key_for_fields(
+    kind: str, fields: dict, cache_version: str = CACHE_VERSION
+) -> str:
+    """The cache key naming ``fields`` under ``cache_version``.
+
+    This is :func:`spec_key` without the spec object: given the same
+    key-relevant fields it reproduces the same digest, which is what
+    lets a store migration re-key an entry from its persisted metadata
+    (:mod:`repro.campaign.stores.migrate`) — and what lets it compute
+    the key an *old* version produced, by passing that version.
+    """
+    payload = json.dumps(fields, sort_keys=True, default=str)
+    digest = hashlib.sha256(
+        f"{cache_version}|{kind}|{payload}".encode()
+    ).hexdigest()
+    return f"{kind}-{digest[:20]}"
+
+
+def _key_fields(spec: RunSpec) -> dict:
+    excluded = getattr(spec, "KEY_EXCLUDED_FIELDS", ())
+    return {k: v for k, v in spec.__dict__.items() if k not in excluded}
+
+
 def spec_key(spec: RunSpec) -> str:
     """Default cache key: ``<kind>-<sha256 of the field payload>``.
 
@@ -50,13 +73,33 @@ def spec_key(spec: RunSpec) -> str:
     so differently-labeled descriptions of the same physical run share
     one cache entry.
     """
-    excluded = getattr(spec, "KEY_EXCLUDED_FIELDS", ())
-    fields = {k: v for k, v in spec.__dict__.items() if k not in excluded}
-    payload = json.dumps(fields, sort_keys=True, default=str)
-    digest = hashlib.sha256(
-        f"{CACHE_VERSION}|{spec.kind}|{payload}".encode()
-    ).hexdigest()
-    return f"{spec.kind}-{digest[:20]}"
+    return key_for_fields(spec.kind, _key_fields(spec))
+
+
+def spec_fields(spec: RunSpec) -> dict:
+    """The spec's key-relevant fields in JSON-native form.
+
+    Exactly the fields :func:`spec_key` hashes, round-tripped through
+    JSON so the dict can be persisted and later re-hashed to the
+    identical digest (tuples become lists, exotic values their ``str``
+    form — the same normalizations ``json.dumps(default=str)`` applies
+    while hashing).
+    """
+    return json.loads(json.dumps(_key_fields(spec), sort_keys=True, default=str))
+
+
+def spec_meta(spec: RunSpec) -> dict:
+    """The cache metadata a disk store persists beside a payload.
+
+    Carries everything a future :func:`repro.campaign.stores.migrate.migrate`
+    needs to re-key the entry after a ``CACHE_VERSION`` bump: the
+    version the key was computed under, the kind, and the key fields.
+    """
+    return {
+        "cache_version": CACHE_VERSION,
+        "kind": spec.kind,
+        "spec": spec_fields(spec),
+    }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,336 @@
+"""On-disk JSON store with atomic writes and versioned records.
+
+Layout: keys live under ``root/<shard>/<key>.json`` where the shard
+directory is the last two hex characters of the key hash, keeping
+directories small when campaigns write thousands of results.  Two
+older layouts stay readable: a flat ``root/<key>.json`` file
+(pre-sharding) and *bare* files holding the payload dict directly
+(pre-record-format).
+
+Writes are atomic: the document goes to a
+``<key>.json.tmp.<pid>.<tid>.<counter>`` sibling first and is
+published with :func:`os.replace`, so a reader (or a concurrent pool
+worker, or another handler thread of the HTTP service) can never
+observe a partially written file.  The tmp name embeds the pid, the
+thread id, *and* a process-wide monotonic counter — two threads of one
+process writing the same key each get their own tmp file instead of
+interleaving writes into a shared one.
+
+On-disk format: each entry is a *record* wrapping the payload with its
+cache metadata::
+
+    {"format": "repro-cache-record", "record": 1,
+     "cache_version": "v2", "kind": "ch4",
+     "spec": {...key fields...}, "payload": {...}}
+
+``cache_version``/``kind``/``spec`` are what
+:func:`repro.campaign.stores.migrate.migrate` needs to re-key an entry
+after a ``CACHE_VERSION`` bump.  ``get`` unwraps the payload; a bare
+legacy file (no ``format`` marker) is served as-is and reported as
+``"unrecorded"`` in :meth:`JsonDirStore.stats`.
+
+I/O errors degrade to cache misses — the store is an accelerator, not
+a dependency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.campaign.spec import CACHE_VERSION
+from repro.campaign.stores.base import ResultStore
+
+#: ``format`` marker of wrapped on-disk entries.
+RECORD_FORMAT = "repro-cache-record"
+#: Version of the record wrapper itself (not of the cached payload).
+RECORD_VERSION = 1
+#: Version label reported for bare (pre-record-format) entries.
+UNRECORDED = "unrecorded"
+#: Tmp files older than this many seconds are swept by ``prune()``;
+#: young ones may belong to an in-flight writer and are left alone.
+DEFAULT_TMP_GRACE_S = 3600.0
+
+#: Process-wide monotonic suffix for tmp names (thread-safe: CPython
+#: evaluates ``next()`` on an ``itertools.count`` atomically).
+_TMP_COUNTER = itertools.count()
+
+
+def make_record(
+    payload: dict, meta: Mapping | None = None, key: str | None = None
+) -> dict:
+    """Wrap ``payload`` in the on-disk record format.
+
+    Without ``meta`` the record is stamped with the current
+    ``CACHE_VERSION`` and the kind parsed from the key prefix, but has
+    no spec fields — such entries count in version stats yet cannot be
+    re-keyed by a migration.
+    """
+    meta = dict(meta) if meta else {}
+    kind = meta.get("kind")
+    if kind is None and key is not None:
+        kind = key.rsplit("-", 1)[0]
+    return {
+        "format": RECORD_FORMAT,
+        "record": RECORD_VERSION,
+        "cache_version": meta.get("cache_version", CACHE_VERSION),
+        "kind": kind,
+        "spec": meta.get("spec"),
+        "payload": payload,
+    }
+
+
+def payload_of(document: object) -> dict | None:
+    """The payload dict inside a parsed entry document, or None.
+
+    Accepts both record-wrapped and bare legacy documents; anything
+    that is not a dict (or a record whose payload is not a dict) is
+    unusable and reads as a miss.
+    """
+    if not isinstance(document, dict):
+        return None
+    if document.get("format") == RECORD_FORMAT:
+        payload = document.get("payload")
+        return payload if isinstance(payload, dict) else None
+    return document
+
+
+def version_of(document: object) -> str:
+    """The cache-version label of a parsed entry document."""
+    if isinstance(document, dict) and document.get("format") == RECORD_FORMAT:
+        return str(document.get("cache_version") or "unknown")
+    return UNRECORDED
+
+
+def _is_hash_shard(name: str) -> bool:
+    """Whether ``name`` is a two-hex-character key-hash directory."""
+    return len(name) == 2 and all(c in "0123456789abcdef" for c in name)
+
+
+class JsonDirStore(ResultStore):
+    """Hash-sharded on-disk JSON store (see module docstring)."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[-2:] / f"{key}.json"
+
+    def _legacy_path(self, key: str) -> Path:
+        # Pre-sharding layout: a flat root/<key>.json file.
+        return self.root / f"{key}.json"
+
+    def _tmp_path(self, path: Path) -> Path:
+        return path.with_name(
+            f"{path.name}.tmp.{os.getpid()}"
+            f".{threading.get_ident()}.{next(_TMP_COUNTER)}"
+        )
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        # Prefer the sharded layout, but fall through to the legacy
+        # flat file whenever the sharded one is absent *or unusable* —
+        # a sharded file parsing to a non-dict must not mask a valid
+        # legacy entry.
+        payload = payload_of(self._read_document(self._path(key)))
+        if payload is None:
+            payload = payload_of(self._read_document(self._legacy_path(key)))
+        return payload
+
+    def read_record(self, key: str) -> dict | None:
+        """The raw entry document (record wrapper or bare legacy dict)."""
+        for path in (self._path(key), self._legacy_path(key)):
+            document = self._read_document(path)
+            if isinstance(document, dict):
+                return document
+        return None
+
+    @staticmethod
+    def _read_document(path: Path) -> object:
+        try:
+            with path.open() as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            # Missing, unreadable, or mid-upgrade partial legacy file.
+            return None
+
+    # -- publish -----------------------------------------------------------
+
+    def put(
+        self, key: str, payload: dict, meta: Mapping | None = None
+    ) -> None:
+        self.write_document(key, make_record(payload, meta, key=key))
+
+    def write_document(self, key: str, document: dict) -> None:
+        """Atomically publish a raw entry document under ``key``.
+
+        Used by rebalance/migration to move records *verbatim* —
+        unlike :meth:`put` this never re-stamps the cache version.
+        """
+        path = self._path(key)
+        tmp = self._tmp_path(path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def remove(self, key: str) -> bool:
+        """Delete the entry under ``key`` (both layouts); True if found."""
+        removed = False
+        for path in (self._path(key), self._legacy_path(key)):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                continue
+        return removed
+
+    # -- enumeration -------------------------------------------------------
+
+    def _entry_items(self) -> list[tuple[str, Path]]:
+        """Unique ``(key, path)`` entries; the sharded layout wins.
+
+        A key present in both layouts is counted once (the sharded
+        copy).  Only this store's own layouts are scanned — nested
+        stores (e.g. shard roots under a ``shards/`` subdirectory of a
+        legacy root) are invisible.
+        """
+        if not self.root.is_dir():
+            return []
+        items: dict[str, Path] = {}
+        try:
+            subdirs = sorted(
+                sub for sub in self.root.iterdir()
+                if sub.is_dir() and _is_hash_shard(sub.name)
+            )
+            for sub in subdirs:
+                for path in sorted(sub.glob("*.json")):
+                    items.setdefault(path.name[: -len(".json")], path)
+            for path in sorted(self.root.glob("*.json")):
+                items.setdefault(path.name[: -len(".json")], path)
+        except OSError:
+            return []
+        return sorted(items.items())
+
+    def iter_records(self) -> Iterator[tuple[str, dict]]:
+        """Yield every readable ``(key, document)`` entry once."""
+        for key, path in self._entry_items():
+            document = self._read_document(path)
+            if isinstance(document, dict):
+                yield key, document
+
+    def dated_entries(self) -> list[tuple[float, str, Path]]:
+        """``(mtime, key, path)`` per entry, for age-based eviction."""
+        dated = []
+        for key, path in self._entry_items():
+            try:
+                dated.append((path.stat().st_mtime, key, path))
+            except OSError:
+                continue
+        return dated
+
+    def _tmp_files(self) -> list[Path]:
+        """Every leftover tmp file (current and legacy ``.tmp`` naming)."""
+        if not self.root.is_dir():
+            return []
+        try:
+            found = [p for p in self.root.glob("*.tmp.*") if p.is_file()]
+            for sub in self.root.iterdir():
+                if sub.is_dir() and _is_hash_shard(sub.name):
+                    found.extend(
+                        p for p in sub.glob("*.tmp.*") if p.is_file()
+                    )
+        except OSError:
+            return []
+        return found
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cache census: entries, bytes, per-version counts, tmp files.
+
+        Like every other store operation this degrades instead of
+        raising — an unreadable file simply doesn't count — so it is
+        safe to call against a cache other processes are writing.
+        """
+        entries = 0
+        total_bytes = 0
+        shards: set[str] = set()
+        versions: dict[str, int] = {}
+        for key, path in self._entry_items():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            if path.parent != self.root:
+                shards.add(path.parent.name)
+            label = version_of(self._read_document(path))
+            versions[label] = versions.get(label, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "shards": len(shards),
+            "versions": dict(sorted(versions.items())),
+            "tmp_files": len(self._tmp_files()),
+        }
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        tmp_grace_s: float = DEFAULT_TMP_GRACE_S,
+    ) -> int:
+        """Evict oldest entries and sweep stale tmp files.
+
+        With ``max_entries`` given, evicts oldest entries (by mtime)
+        down to that count.  Tmp files older than ``tmp_grace_s``
+        seconds — orphans of writers that crashed between opening the
+        tmp and publishing it — are always swept; younger ones may
+        belong to an in-flight writer and are left alone.  Returns the
+        number of files removed.  Races are benign: a file deleted by
+        a concurrent pruner just counts for whoever unlinked it first,
+        and readers of a pruned key see an ordinary cache miss.
+        """
+        removed = self._sweep_tmp(tmp_grace_s)
+        if max_entries is None:
+            return removed
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        dated = self.dated_entries()
+        excess = len(dated) - max_entries
+        if excess <= 0:
+            return removed
+        dated.sort(key=lambda item: item[0])
+        for _, _, path in dated[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _sweep_tmp(self, grace_s: float) -> int:
+        cutoff = time.time() - grace_s
+        removed = 0
+        for path in self._tmp_files():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,241 @@
+"""Consistent-hash sharding across N on-disk shard roots.
+
+A :class:`ShardedStore` spreads cache keys over several
+:class:`~repro.campaign.stores.disk.JsonDirStore` roots using a
+consistent-hash ring: each shard contributes ``replicas`` points to
+the ring, positioned by hashing the shard *directory name* (not its
+index), so adding a shard moves only the keys that now fall in the new
+shard's arcs — about ``1/N`` of them — while every other key keeps its
+placement.  Removing a shard likewise reassigns only that shard's
+keys.
+
+The store is rebalance-aware in two complementary ways:
+
+- ``get`` read-repairs: a key that misses on its ring shard is looked
+  up on every other shard and, when found (because the ring changed
+  since it was written), moved verbatim to its current home.
+- ``rebalance()`` does the same proactively for the whole store, so a
+  resize can be absorbed in one pass instead of paying a scan per
+  first miss.
+
+The standard layout puts shard roots under ``<cache_dir>/shards/<NN>``
+(see :meth:`ShardedStore.at` and ``REPRO_CACHE_SHARDS``); the legacy
+flat store never descends into ``shards/``, so both can share one
+cache directory.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.campaign.stores.base import ResultStore
+from repro.campaign.stores.disk import JsonDirStore, payload_of
+from repro.errors import ConfigurationError
+
+#: Ring points contributed by each shard.  More replicas smooth the
+#: key distribution; 64 keeps the worst shard within ~20% of fair
+#: share while the ring stays tiny (N*64 entries).
+DEFAULT_REPLICAS = 64
+
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit ring position of ``text``."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class ShardedStore(ResultStore):
+    """Consistent-hash ring over N ``JsonDirStore`` shard roots."""
+
+    def __init__(
+        self,
+        shards: Sequence[JsonDirStore],
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("a sharded store needs >= 1 shard")
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        names = [shard.root.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"shard directory names must be unique, got {names}"
+            )
+        self.shards = list(shards)
+        self.replicas = replicas
+        # Ring positions depend only on each shard's directory name, so
+        # the same shard set always builds the same ring, and a new
+        # shard leaves every existing point where it was.
+        points = sorted(
+            (_ring_hash(f"{shard.root.name}#{replica}"), index)
+            for index, shard in enumerate(self.shards)
+            for replica in range(replicas)
+        )
+        self._ring_keys = [point for point, _ in points]
+        self._ring_shards = [index for _, index in points]
+
+    @classmethod
+    def at(
+        cls,
+        root: Path | str,
+        count: int,
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> "ShardedStore":
+        """The standard layout: ``<root>/shards/00 .. <NN>``."""
+        if count < 1:
+            raise ConfigurationError("shard count must be >= 1")
+        base = Path(root) / "shards"
+        return cls(
+            [JsonDirStore(base / f"{index:02d}") for index in range(count)],
+            replicas=replicas,
+        )
+
+    def shard_for(self, key: str) -> JsonDirStore:
+        """The shard the ring currently assigns ``key`` to."""
+        point = _ring_hash(key)
+        slot = bisect.bisect_right(self._ring_keys, point)
+        if slot == len(self._ring_keys):
+            slot = 0  # wrap past the highest ring point
+        return self.shards[self._ring_shards[slot]]
+
+    # -- protocol ----------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        primary = self.shard_for(key)
+        payload = primary.get(key)
+        if payload is not None:
+            return payload
+        # Read repair: the ring may have changed since this key was
+        # written (shard added/removed).  Find the stray copy and move
+        # it home verbatim, so the next lookup is a one-shard hit.
+        for shard in self.shards:
+            if shard is primary:
+                continue
+            document = shard.read_record(key)
+            payload = payload_of(document)
+            if payload is None:
+                continue
+            primary.write_document(key, document)
+            shard.remove(key)
+            return payload
+        return None
+
+    def put(
+        self, key: str, payload: dict, meta: Mapping | None = None
+    ) -> None:
+        self.shard_for(key).put(key, payload, meta=meta)
+
+    def describe(self, key: str) -> dict:
+        return {"shard": self.shard_for(key).root.name}
+
+    # -- record access (migration support) ---------------------------------
+
+    def read_record(self, key: str) -> dict | None:
+        """The raw entry document, wherever on the ring it lives."""
+        for shard in [self.shard_for(key)] + self.shards:
+            document = shard.read_record(key)
+            if document is not None:
+                return document
+        return None
+
+    def write_document(self, key: str, document: dict) -> None:
+        """Publish a raw document on the key's ring shard."""
+        self.shard_for(key).write_document(key, document)
+
+    def remove(self, key: str) -> bool:
+        """Delete ``key`` from every shard holding it; True if found."""
+        removed = False
+        for shard in self.shards:
+            removed = shard.remove(key) or removed
+        return removed
+
+    def iter_records(self) -> Iterator[tuple[str, dict]]:
+        """Every readable ``(key, document)`` across all shards, once."""
+        seen: set[str] = set()
+        for shard in self.shards:
+            for key, document in shard.iter_records():
+                if key not in seen:
+                    seen.add(key)
+                    yield key, document
+
+    # -- maintenance -------------------------------------------------------
+
+    def rebalance(self, *, dry_run: bool = False) -> dict:
+        """Move every misplaced entry to its current ring shard.
+
+        Returns ``{"scanned": n, "moved": m}``.  Documents move
+        verbatim (version stamps preserved).  With ``dry_run`` nothing
+        is written; ``moved`` reports what a real pass would do.
+        """
+        scanned = 0
+        moved = 0
+        for shard in self.shards:
+            for key, document in shard.iter_records():
+                scanned += 1
+                home = self.shard_for(key)
+                if home is shard:
+                    continue
+                moved += 1
+                if not dry_run:
+                    home.write_document(key, document)
+                    shard.remove(key)
+        return {"scanned": scanned, "moved": moved}
+
+    def stats(self) -> dict:
+        """Aggregate census plus the per-shard breakdown."""
+        per_shard = [shard.stats() for shard in self.shards]
+        versions: dict[str, int] = {}
+        for stat in per_shard:
+            for label, count in stat["versions"].items():
+                versions[label] = versions.get(label, 0) + count
+        return {
+            "root": str(self.shards[0].root.parent),
+            "entries": sum(stat["entries"] for stat in per_shard),
+            "bytes": sum(stat["bytes"] for stat in per_shard),
+            "shards": len(self.shards),
+            "versions": dict(sorted(versions.items())),
+            "tmp_files": sum(stat["tmp_files"] for stat in per_shard),
+            "per_shard": per_shard,
+        }
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        *,
+        tmp_grace_s: float | None = None,
+    ) -> int:
+        """Sweep stale tmp files everywhere; evict oldest globally.
+
+        ``max_entries`` bounds the *total* entry count across shards —
+        eviction picks the globally oldest entries, not per-shard
+        quotas, so a hot shard is not forced to evict fresh entries
+        while a cold one keeps ancient ones.
+        """
+        tmp_kwargs = {} if tmp_grace_s is None else {
+            "tmp_grace_s": tmp_grace_s
+        }
+        removed = sum(
+            shard.prune(None, **tmp_kwargs) for shard in self.shards
+        )
+        if max_entries is None:
+            return removed
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        dated = []
+        for shard in self.shards:
+            dated.extend(shard.dated_entries())
+        excess = len(dated) - max_entries
+        if excess <= 0:
+            return removed
+        dated.sort(key=lambda item: item[0])
+        for _, _, path in dated[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -21,6 +21,10 @@ Commands:
   through the parallel campaign engine and print or export the table.
 - ``scenarios`` — list the registered scenario library, or run named
   scenarios through the campaign engine.
+- ``cache`` — inspect or maintain the on-disk result cache:
+  ``stats`` (census with per-version counts), ``prune`` (evict oldest
+  entries, sweep stale tmp files), ``migrate`` (re-key
+  old-``CACHE_VERSION`` entries through the registered rewriters).
 - ``serve`` — expose the API over HTTP (``/v1/simulate``,
   ``/v1/scenarios``, ``/v1/campaign``, ...).
 - ``worker`` — run a fleet worker: the same HTTP service, started for
@@ -53,6 +57,9 @@ Examples::
         --platforms PE1950,SR1500AL --export results/campaign.csv
     python -m repro scenarios list --kind ch4
     python -m repro scenarios run hot-ambient throttle-storm --copies 1
+    python -m repro cache stats --json
+    python -m repro cache prune --max-entries 500
+    REPRO_CACHE_SHARDS=4 python -m repro cache migrate --dry-run
     python -m repro serve --port 8765
     python -m repro worker --port 9001
     python -m repro campaign --mixes W1,W2 --backend http \\
@@ -81,6 +88,12 @@ from repro.api import (
     results_document,
     scenarios_document,
     serve,
+)
+from repro.campaign import (
+    CACHE_VERSION,
+    default_disk_store,
+    disk_cache_enabled,
+    migrate,
 )
 from repro.cluster import BACKEND_CHOICES, backend_for
 from repro.errors import ConfigurationError, ReproError
@@ -229,6 +242,45 @@ def _build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--verbose", action="store_true", help="log each HTTP request"
         )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the on-disk result cache "
+        "(REPRO_CACHE_DIR / REPRO_CACHE_SHARDS select the store)",
+    )
+    cache_action = cache.add_subparsers(dest="action", required=True)
+    c_stats = cache_action.add_parser(
+        "stats",
+        help="cache census: entries, bytes, per-version counts, "
+        "per-shard breakdown, leftover tmp files",
+    )
+    add_json_flag(c_stats)
+    c_prune = cache_action.add_parser(
+        "prune", help="evict oldest entries and sweep stale tmp files"
+    )
+    c_prune.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="evict oldest entries (by mtime, globally across shards) "
+        "down to N; without it only stale tmp files are swept",
+    )
+    c_prune.add_argument(
+        "--tmp-grace-s", type=float, default=None, metavar="SECONDS",
+        help="sweep tmp files older than this (default 3600); younger "
+        "ones may belong to an in-flight writer",
+    )
+    add_json_flag(c_prune)
+    c_migrate = cache_action.add_parser(
+        "migrate",
+        help=f"re-key old-CACHE_VERSION entries to {CACHE_VERSION} via "
+        "the registered rewriters (payloads move verbatim); on a "
+        "sharded store, also move entries the ring no longer places "
+        "where they sit",
+    )
+    c_migrate.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would migrate without writing",
+    )
+    add_json_flag(c_migrate)
 
     serve_cmd = sub.add_parser(
         "serve", help="serve the API over HTTP (see repro.api.service)"
@@ -528,6 +580,69 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     )
 
 
+def _disk_store_or_fail():
+    if not disk_cache_enabled():
+        raise ConfigurationError(
+            "the disk cache is disabled (REPRO_CACHE=0); nothing to manage"
+        )
+    return default_disk_store()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _disk_store_or_fail()
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            _print_json(stats)
+            return 0
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']} ({stats['bytes']} bytes)")
+        print(f"shards:     {stats['shards']}")
+        versions = stats["versions"] or {}
+        rendered = ", ".join(
+            f"{label}={count}" for label, count in sorted(versions.items())
+        )
+        print(f"versions:   {rendered or 'none'} (current: {CACHE_VERSION})")
+        print(f"tmp files:  {stats['tmp_files']}")
+        for shard in stats.get("per_shard", ()):
+            print(
+                f"  shard {Path(shard['root']).name}: "
+                f"{shard['entries']} entries, {shard['bytes']} bytes"
+            )
+        return 0
+    if args.action == "prune":
+        kwargs = {}
+        if args.tmp_grace_s is not None:
+            kwargs["tmp_grace_s"] = args.tmp_grace_s
+        removed = store.prune(args.max_entries, **kwargs)
+        if args.json:
+            _print_json({"removed": removed, "root": store.stats()["root"]})
+        else:
+            print(f"removed {removed} file(s)")
+        return 0
+    # action == "migrate"
+    report = migrate(store, dry_run=args.dry_run)
+    moved = None
+    if hasattr(store, "rebalance") and not args.dry_run:
+        moved = store.rebalance()["moved"]
+    document = report.to_dict()
+    if moved is not None:
+        document["rebalanced"] = moved
+    if args.json:
+        _print_json(document)
+        return 0
+    verb = "would migrate" if args.dry_run else "migrated"
+    print(
+        f"{verb} {report.migrated} of {report.scanned} entries to "
+        f"{report.target} (current: {report.current}, "
+        f"unrecorded: {report.unrecorded}, "
+        f"unmigratable: {report.unmigratable}, failed: {report.failed})"
+    )
+    if moved is not None:
+        print(f"rebalanced {moved} misplaced entr{'y' if moved == 1 else 'ies'}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(
         host=args.host,
@@ -557,6 +672,7 @@ def main(argv: list[str] | None = None) -> int:
         "homogeneous": _cmd_homogeneous,
         "campaign": _cmd_campaign,
         "scenarios": _cmd_scenarios,
+        "cache": _cmd_cache,
         "serve": _cmd_serve,
         "worker": _cmd_worker,
     }

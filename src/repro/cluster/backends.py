@@ -12,10 +12,13 @@ The protocol is two calls per batch:
   ``(key, spec)`` cells.  ``store`` is the campaign's *explicit* store
   or ``None`` for "each executor resolves its own default stack" —
   the sentinel convention the process pool has always used.
-- ``iter_results()`` yields ``(key, payload, hit, compute_seconds)``
-  once per submitted cell, in any order.  Payloads are the encoded
-  (JSON-safe) form, so the campaign can re-publish them into its own
-  store and decode them exactly like cache hits.
+- ``iter_results()`` yields
+  ``(key, payload, hit, compute_seconds, store_info)`` once per
+  submitted cell, in any order.  Payloads are the encoded (JSON-safe)
+  form, so the campaign can re-publish them into its own store and
+  decode them exactly like cache hits; ``store_info`` is the store's
+  placement / single-flight provenance for the cell (``{}`` for plain
+  warm hits).
 
 Backends are context managers.  A campaign that builds its own backend
 closes it when the run (or an abandoned iterator) finishes; a backend
@@ -39,16 +42,21 @@ from abc import ABC, abstractmethod
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import ClassVar, Iterator, Sequence
 
-from repro.campaign.engine import cached_payload, run_payload
-from repro.campaign.spec import RunSpec, runner_for
-from repro.campaign.stores import ResultStore, default_store
+from repro.campaign.engine import cached_payload, run_outcome
+from repro.campaign.spec import RunSpec, runner_for, spec_meta
+from repro.campaign.stores import (
+    ResultStore,
+    SingleFlightStore,
+    default_store,
+)
 from repro.engine.gang import plan_gangs
 from repro.errors import ConfigurationError
 
 #: One submitted cell: (cache key, run spec).
 Cell = tuple[str, RunSpec]
-#: One delivered result: (cache key, payload, cache_hit, compute_seconds).
-CellResult = tuple[str, dict, bool, float]
+#: One delivered result:
+#: (cache key, payload, cache_hit, compute_seconds, store_info).
+CellResult = tuple[str, dict, bool, float, dict]
 
 
 class ExecutionBackend(ABC):
@@ -107,8 +115,11 @@ class SerialBackend(ExecutionBackend):
 
     def iter_results(self) -> Iterator[CellResult]:
         for key, spec in self._cells:
-            payload, hit, seconds = run_payload(spec, self._store)
-            yield key, payload, hit, seconds
+            outcome = run_outcome(spec, self._store)
+            yield (
+                key, outcome.payload, outcome.hit,
+                outcome.compute_seconds, outcome.store_info,
+            )
 
 
 class VectorBackend(ExecutionBackend):
@@ -161,47 +172,92 @@ class VectorBackend(ExecutionBackend):
 
     def iter_results(self) -> Iterator[CellResult]:
         store = default_store() if self._store is None else self._store
+        # When the store coalesces (the default stack does), register a
+        # flight per cold cell before the gangs run: an API request
+        # racing this batch for the same cell waits for the gang
+        # instead of recomputing, and cells another thread is already
+        # computing are followed instead of ganged.
+        flights = store if isinstance(store, SingleFlightStore) else None
+        led: set[str] = set()
         misses: list[Cell] = []
-        for key, spec in self._cells:
-            payload = cached_payload(spec, store)
-            if payload is None:
+        try:
+            for key, spec in self._cells:
+                payload = cached_payload(spec, store)
+                if payload is not None:
+                    yield key, payload, True, 0.0, {}
+                    continue
+                if flights is not None:
+                    if flights.try_lead(key):
+                        led.add(key)
+                    else:
+                        joined = flights.follow(key)
+                        if joined is not None:
+                            yield (
+                                key, joined, True, 0.0,
+                                {"single_flight": "coalesced"},
+                            )
+                            continue
+                        # The other leader failed; claim the flight
+                        # ourselves (best effort) and compute.
+                        if flights.try_lead(key):
+                            led.add(key)
                 misses.append((key, spec))
-            else:
-                yield key, payload, True, 0.0
-        if not misses:
-            return
-        plan = plan_gangs(
-            misses,
-            batch_cells=self.batch_cells,
-            backend=self.kernel_backend,
-        )
-        for planned in plan.gangs:
-            started = time.perf_counter()
-            results = planned.gang.run_to_completion()
-            # The gang's wall time is genuinely joint; attribute an
-            # equal share to each cell so provenance sums correctly.
-            per_cell = (time.perf_counter() - started) / len(results)
-            for (key, spec), result in zip(planned.cells, results):
-                payload = runner_for(spec.kind).encode(result)
-                store.put(key, payload)
-                yield key, payload, False, per_cell
-        for key, spec in plan.solo:
-            payload, hit, seconds = run_payload(spec, store)
-            yield key, payload, hit, seconds
+            if not misses:
+                return
+            plan = plan_gangs(
+                misses,
+                batch_cells=self.batch_cells,
+                backend=self.kernel_backend,
+            )
+            for planned in plan.gangs:
+                started = time.perf_counter()
+                results = planned.gang.run_to_completion()
+                # The gang's wall time is genuinely joint; attribute an
+                # equal share to each cell so provenance sums correctly.
+                per_cell = (time.perf_counter() - started) / len(results)
+                for (key, spec), result in zip(planned.cells, results):
+                    payload = runner_for(spec.kind).encode(result)
+                    store.put(key, payload, meta=spec_meta(spec))
+                    if flights is not None:
+                        flights.settle(key, payload)
+                        led.discard(key)
+                    yield key, payload, False, per_cell, store.describe(key)
+            for key, spec in plan.solo:
+                # ``run_outcome`` re-enters ``get_or_compute``; the
+                # flight table recognizes this thread as the owner and
+                # passes straight through, so settling stays ours.
+                outcome = run_outcome(spec, store)
+                if flights is not None:
+                    flights.settle(key, outcome.payload)
+                    led.discard(key)
+                yield (
+                    key, outcome.payload, outcome.hit,
+                    outcome.compute_seconds, outcome.store_info,
+                )
+        finally:
+            if flights is not None:
+                # Wake followers of any cell we claimed but never
+                # finished (error, abandoned iterator) empty-handed so
+                # they recompute instead of waiting forever.
+                for key in led:
+                    flights.settle(key, None)
 
 
 def _pool_worker_execute(
     spec: RunSpec, store: ResultStore | None
-) -> tuple[str, dict, bool, float]:
-    """Pool-worker entry: run one spec, return (key, payload, hit, seconds).
+) -> CellResult:
+    """Pool-worker entry: run one spec, return its :data:`CellResult`.
 
     With no explicit store the worker uses its own default stack, so
     results cached by earlier campaigns (or sibling workers) hit the
     shared disk layer; an explicit store arrives as a pickled copy, so
     its disk layers are shared but memory layers are private.
     """
-    payload, hit, compute_seconds = run_payload(spec, store)
-    return spec.key(), payload, hit, compute_seconds
+    outcome = run_outcome(spec, store)
+    return (
+        spec.key(), outcome.payload, outcome.hit,
+        outcome.compute_seconds, outcome.store_info,
+    )
 
 
 class LocalProcessBackend(ExecutionBackend):
@@ -244,8 +300,8 @@ class LocalProcessBackend(ExecutionBackend):
 
     def iter_results(self) -> Iterator[CellResult]:
         for key, future in self._futures.items():
-            _, payload, hit, seconds = future.result()
-            yield key, payload, hit, seconds
+            _, payload, hit, seconds, info = future.result()
+            yield key, payload, hit, seconds, info
 
     def close(self) -> None:
         """Cancel pending cells and shut the pool down.

@@ -487,6 +487,7 @@ class HttpWorkerBackend(ExecutionBackend):
                     raw["payload"],
                     raw.get("cache") == "hit",
                     round(seconds, 6),
+                    {},
                 ))
                 self._remaining -= 1
             for cell, raw in partials:

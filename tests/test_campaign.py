@@ -176,7 +176,7 @@ def test_json_dir_store_write_is_atomic(tmp_path, monkeypatch):
         handle.flush()
         raise OSError("disk full")
 
-    monkeypatch.setattr("repro.campaign.stores.json.dump", torn_dump)
+    monkeypatch.setattr("repro.campaign.stores.disk.json.dump", torn_dump)
     store.put(key, {"generation": 2})
     monkeypatch.undo()
     # The reader still sees the intact old payload, and the torn temp
@@ -198,6 +198,7 @@ def test_json_dir_store_stats(tmp_path):
     store = JsonDirStore(tmp_path)
     assert store.stats() == {
         "root": str(tmp_path), "entries": 0, "bytes": 0, "shards": 0,
+        "versions": {}, "tmp_files": 0,
     }
     for index in range(5):
         store.put(f"test-square-stats{index:015d}", {"index": index})

@@ -480,7 +480,7 @@ def test_late_duplicate_delivery_is_deduplicated():
     backend._deliver(second, [(cell, raw)], [], backend._generation)
     backend._deliver(first, [(cell, raw)], [], backend._generation)
     assert backend._remaining == 0
-    assert list(backend._results) == [("k", {"square": 1}, False, 0.1)]
+    assert list(backend._results) == [("k", {"square": 1}, False, 0.1, {})]
     assert second.completed_cells == 1 and first.completed_cells == 0
     # A late *failure* of the already-delivered cell is likewise only
     # counted against the worker, never requeued.

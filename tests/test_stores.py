@@ -1,0 +1,648 @@
+"""The PR 7 store stack: sharding, single-flight dedup, migrations.
+
+The acceptance-critical properties live here:
+
+- N concurrent identical cold requests perform exactly 1 compute and
+  0 torn reads (single-flight coalescing + atomic disk publishes).
+- Warm envelopes are byte-identical across ``JsonDirStore``,
+  ``ShardedStore``, and a post-``migrate()`` store.
+- Adding a shard to the consistent-hash ring remaps ~1/N keys.
+
+``REPRO_STORE_STRESS`` scales the thread-hammer tests (default 1x) so
+the CI store-stress leg can turn the same tests up without an edit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.api import ReproClient, SimulateRequest
+from repro.campaign import (
+    JsonDirStore,
+    MemoryStore,
+    ShardedStore,
+    SingleFlightStore,
+    TieredStore,
+    key_for_fields,
+    migrate,
+    register_rewriter,
+    register_runner,
+    run_outcome,
+    spec_key,
+    spec_meta,
+)
+from repro.campaign.spec import CACHE_VERSION
+from repro.campaign.stores import (
+    RECORD_FORMAT,
+    RECORD_VERSION,
+    cache_shards,
+    default_disk_store,
+    flights_in_progress,
+    make_record,
+)
+from repro.errors import ConfigurationError
+
+#: Thread-count multiplier for the hammer tests (CI stress leg sets 4).
+STRESS = max(1, int(os.environ.get("REPRO_STORE_STRESS", "1")))
+
+
+# ---------------------------------------------------------------------------
+# A tiny synthetic runner so store tests don't pay for real simulations.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CubeSpec:
+    kind: ClassVar[str] = "test-cube"
+
+    value: int = 2
+
+    def key(self) -> str:
+        return spec_key(self)
+
+
+def _execute_cube(spec: CubeSpec) -> dict:
+    return {"value": spec.value, "cube": spec.value**3}
+
+
+register_runner("test-cube", _execute_cube, encode=dict, decode=dict)
+
+
+def _scope(request) -> str:
+    # A per-test flight scope keeps these tests out of the "default"
+    # scope shared by every default_store() stack in the process.
+    return f"test:{request.node.name}"
+
+
+# ---------------------------------------------------------------------------
+# Tmp naming + concurrent same-key writers (satellite: thread-unsafe tmp)
+# ---------------------------------------------------------------------------
+
+
+def test_tmp_names_are_unique_across_threads(tmp_path):
+    store = JsonDirStore(tmp_path)
+    target = store._path("test-cube-abc")
+    names, lock = [], threading.Lock()
+
+    def grab() -> None:
+        mine = [store._tmp_path(target).name for _ in range(50)]
+        with lock:
+            names.extend(mine)
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(names) == len(set(names))
+    pid = os.getpid()
+    assert all(f".tmp.{pid}." in name for name in names)
+
+
+def test_concurrent_thread_writers_same_key_no_torn_reads(tmp_path):
+    store = JsonDirStore(tmp_path)
+    key = CubeSpec(17).key()  # a real hex-suffixed key, as stats scans
+    writers = 4 * STRESS
+    rounds = 25
+    stop = threading.Event()
+    torn: list[object] = []
+
+    def write(seed: int) -> None:
+        for i in range(rounds):
+            store.put(key, {"seed": seed, "round": i, "fill": "x" * 256})
+
+    def read() -> None:
+        while not stop.is_set():
+            payload = store.get(key)
+            if payload is None:
+                continue
+            if set(payload) != {"seed", "round", "fill"}:
+                torn.append(payload)
+
+    readers = [threading.Thread(target=read) for _ in range(2)]
+    for t in readers:
+        t.start()
+    threads = [threading.Thread(target=write, args=(n,)) for n in range(writers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    for t in readers:
+        t.join()
+
+    assert torn == []
+    # Exactly one survivor, intact, from some writer's final round.
+    final = store.get(key)
+    assert final is not None and final["round"] == rounds - 1
+    assert store.stats()["entries"] == 1
+    # No tmp debris left behind by the losing writers.
+    assert store.stats()["tmp_files"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Single-flight coalescing (acceptance: N cold requests -> 1 compute)
+# ---------------------------------------------------------------------------
+
+
+def test_single_flight_n_cold_requests_one_compute(tmp_path, request):
+    store = SingleFlightStore(JsonDirStore(tmp_path), scope=_scope(request))
+    key = CubeSpec(3).key()
+    computes, lock = [], threading.Lock()
+    gate = threading.Barrier(6 * STRESS)
+    results: list[tuple[dict, bool, dict]] = []
+
+    def compute() -> tuple[dict, dict]:
+        with lock:
+            computes.append(threading.get_ident())
+        time.sleep(0.05)  # hold the flight open so followers pile up
+        return {"cube": 27}, {"compute_seconds": 0.05}
+
+    def ask() -> None:
+        gate.wait()
+        outcome = store.get_or_compute(key, compute)
+        with lock:
+            results.append(outcome)
+
+    threads = [threading.Thread(target=ask) for _ in range(6 * STRESS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(computes) == 1  # exactly one compute across the stampede
+    assert all(payload == {"cube": 27} for payload, _, _ in results)
+    misses = [info for _, hit, info in results if not hit]
+    hits = [info for _, hit, info in results if hit]
+    assert len(misses) == 1
+    assert all(info.get("single_flight") == "coalesced" for info in hits)
+    assert flights_in_progress(_scope(request)) == 0
+    # The leader's publish reached the disk layer for everyone after.
+    assert store.get(key) == {"cube": 27}
+
+
+def test_single_flight_leader_failure_followers_recover(request):
+    store = SingleFlightStore(MemoryStore(), scope=_scope(request))
+    key = "test-cube-doomed"
+    assert store.try_lead(key)  # this thread is the (doomed) leader
+    computes, lock = [], threading.Lock()
+    started = threading.Barrier(4)
+
+    def compute() -> tuple[dict, dict]:
+        with lock:
+            computes.append(threading.get_ident())
+        return {"ok": True}, {}
+
+    def follow() -> None:
+        started.wait()
+        payload, hit, _ = store.get_or_compute(key, compute)
+        assert payload == {"ok": True}
+        assert not hit  # recovered by computing, not by coalescing
+
+    threads = [threading.Thread(target=follow) for _ in range(3)]
+    for t in threads:
+        t.start()
+    started.wait()
+    time.sleep(0.05)  # let the followers park on the flight
+    store.settle(key, None)  # leader dies empty-handed
+    for t in threads:
+        t.join()
+
+    assert len(computes) == 3  # every follower recovered independently
+    assert flights_in_progress(_scope(request)) == 0
+    store.settle(key, None)  # idempotent on a settled key
+
+
+def test_single_flight_owner_reenters_without_deadlock(request):
+    store = SingleFlightStore(MemoryStore(), scope=_scope(request))
+    key = "test-cube-nested"
+    assert store.try_lead(key)
+    assert store.try_lead(key)  # re-claiming our own flight is fine
+    # A nested get_or_compute under our own flight computes directly
+    # instead of waiting on ourselves.
+    payload, hit, _ = store.get_or_compute(key, lambda: ({"n": 1}, {}))
+    assert payload == {"n": 1} and not hit
+    store.settle(key, payload)
+    assert flights_in_progress(_scope(request)) == 0
+
+
+def test_follow_covers_every_flight_state(request):
+    store = SingleFlightStore(MemoryStore(), scope=_scope(request))
+    key = "test-cube-00f1"
+    # No flight in progress: follow degrades to a plain inner read.
+    assert store.follow(key) is None
+    store.put(key, {"cube": 1})
+    assert store.follow(key) == {"cube": 1}
+    # An open flight that outlives the timeout: the caller gets None
+    # and should fall back to computing itself.
+    other = "test-cube-00f2"
+    assert store.try_lead(other)
+    waited: list = []
+    follower = threading.Thread(
+        target=lambda: waited.append(store.follow(other, timeout=0.01))
+    )
+    follower.start()
+    follower.join()
+    assert waited == [None]
+    # A settled flight hands its payload to followers; publish to the
+    # inner store first so a follower arriving after the settle (the
+    # no-flight path) reads the same payload instead of racing.
+    store.put(other, {"cube": 8})
+    done: list = []
+    follower = threading.Thread(
+        target=lambda: done.append(store.follow(other, timeout=5.0))
+    )
+    follower.start()
+    time.sleep(0.02)  # usually parks the follower on the flight
+    store.settle(other, {"cube": 8})
+    follower.join()
+    assert done == [{"cube": 8}]
+    assert flights_in_progress(_scope(request)) == 0
+
+
+def test_run_outcome_reports_flight_provenance(tmp_path, request):
+    store = SingleFlightStore(JsonDirStore(tmp_path), scope=_scope(request))
+    cold = run_outcome(CubeSpec(5), store)
+    assert not cold.hit and cold.payload["cube"] == 125
+    warm = run_outcome(CubeSpec(5), store)
+    assert warm.hit and warm.store_info == {}
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring (tentpole: adding a shard remaps ~1/N keys)
+# ---------------------------------------------------------------------------
+
+
+def test_ring_remaps_about_one_in_n_keys(tmp_path):
+    four = ShardedStore.at(tmp_path, 4)
+    five = ShardedStore.at(tmp_path, 5)
+    keys = [f"test-cube-{i:05d}" for i in range(2000)]
+    moved = sum(
+        four.shard_for(k).root.name != five.shard_for(k).root.name
+        for k in keys
+    )
+    # Ideal is 1/5 = 0.20; the 64-replica ring lands near it.
+    assert 0.10 < moved / len(keys) < 0.35
+
+
+def test_sharded_routing_is_stable_and_balanced(tmp_path):
+    store = ShardedStore.at(tmp_path, 3)
+    keys = [f"test-cube-{i:04d}" for i in range(900)]
+    by_shard: dict[str, int] = {}
+    for k in keys:
+        name = store.shard_for(k).root.name
+        by_shard[name] = by_shard.get(name, 0) + 1
+        assert store.shard_for(k).root.name == name  # deterministic
+    assert set(by_shard) == {"00", "01", "02"}
+    assert min(by_shard.values()) > 900 // 3 // 3  # no starved shard
+
+
+def test_sharded_read_repair_after_ring_change(tmp_path):
+    four = ShardedStore.at(tmp_path, 4)
+    five = ShardedStore.at(tmp_path, 5)
+    # Find a seeded key the new ring routes elsewhere; repair on read.
+    keys = [f"test-cube-{i:05d}" for i in range(64)]
+    for key in keys:
+        four.put(key, {"k": key})
+    displaced = [
+        k for k in keys
+        if four.shard_for(k).root.name != five.shard_for(k).root.name
+    ]
+    assert displaced  # with 65 keys and 1/5 expected movement
+    key = displaced[0]
+    assert five.get(key) is not None  # served despite wrong shard...
+    assert five.shard_for(key).get(key) is not None  # ...and repaired
+
+
+def test_rebalance_moves_records_verbatim(tmp_path):
+    spec = CubeSpec(9)
+    four = ShardedStore.at(tmp_path, 4)
+    for i in range(60):
+        four.put(f"test-cube-r{i:03d}", {"i": i})
+    four.put(spec.key(), {"cube": 729}, meta=spec_meta(spec))
+    five = ShardedStore.at(tmp_path, 5)
+    plan = five.rebalance(dry_run=True)
+    assert plan["scanned"] == 61 and plan["moved"] > 0
+    done = five.rebalance()
+    assert done["moved"] == plan["moved"]
+    assert five.rebalance()["moved"] == 0  # converged
+    # Every record still reads, with its metadata intact.
+    record = five.read_record(spec.key())
+    assert record["cache_version"] == CACHE_VERSION
+    assert record["spec"] == {"value": 9}
+    assert five.get(spec.key()) == {"cube": 729}
+    assert five.stats()["entries"] == 61
+
+
+def test_sharded_store_rejects_bad_configs(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ShardedStore([])
+    with pytest.raises(ConfigurationError):
+        ShardedStore.at(tmp_path, 0)
+    with pytest.raises(ConfigurationError):
+        ShardedStore.at(tmp_path, 2, replicas=0)
+    a = JsonDirStore(tmp_path / "x" / "same")
+    b = JsonDirStore(tmp_path / "y" / "same")
+    with pytest.raises(ConfigurationError):
+        ShardedStore([a, b])  # ring positions collide on the name
+    with pytest.raises(ValueError):
+        ShardedStore.at(tmp_path, 2).prune(max_entries=-1)
+
+
+def test_sharded_remove_and_prune_without_quota(tmp_path):
+    store = ShardedStore.at(tmp_path, 2)
+    store.put("test-cube-00cc", {"x": 1})
+    assert store.remove("test-cube-00cc")
+    assert not store.remove("test-cube-00cc")  # already gone
+    assert store.get("test-cube-00cc") is None
+    store.put("test-cube-00dd", {"x": 2})
+    assert store.prune() == 0  # tmp sweep only; no entry quota
+    assert store.prune(max_entries=5) == 0  # under quota: no eviction
+    assert store.get("test-cube-00dd") == {"x": 2}
+
+
+# ---------------------------------------------------------------------------
+# Disk-layer bug sweep (satellites: legacy masking, double counting,
+# stale tmp orphans)
+# ---------------------------------------------------------------------------
+
+
+def test_non_dict_sharded_file_does_not_mask_legacy_entry(tmp_path):
+    store = JsonDirStore(tmp_path)
+    key = "test-cube-mask"
+    sharded = store._path(key)
+    sharded.parent.mkdir(parents=True)
+    sharded.write_text(json.dumps(["not", "a", "payload"]))
+    store._legacy_path(key).write_text(json.dumps({"cube": 8}))
+    assert store.get(key) == {"cube": 8}
+
+
+def test_stats_counts_dual_layout_entries_once(tmp_path):
+    store = JsonDirStore(tmp_path)
+    key = "test-cube-00aa"
+    store.put(key, {"cube": 1})  # sharded layout
+    store._legacy_path(key).write_text(json.dumps({"cube": 1}))  # legacy
+    stats = store.stats()
+    assert stats["entries"] == 1
+    # The sharded (record-wrapped) copy wins the census.
+    assert stats["versions"] == {CACHE_VERSION: 1}
+
+
+def test_prune_sweeps_stale_tmp_files_only(tmp_path):
+    store = JsonDirStore(tmp_path)
+    store.put("test-cube-0bb0", {"cube": 1})
+    old_flat = tmp_path / "a.json.tmp.1.2.3"
+    old_flat.write_text("{")
+    shard_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+    old_sharded = shard_dir / "b.json.tmp.4.5.6"
+    old_sharded.write_text("{")
+    young = tmp_path / "c.json.tmp.7.8.9"
+    young.write_text("{")
+    stale = time.time() - 7200
+    os.utime(old_flat, (stale, stale))
+    os.utime(old_sharded, (stale, stale))
+
+    assert store.stats()["tmp_files"] == 3
+    assert store.prune() == 2  # default grace spares the young writer
+    after = store.stats()
+    assert after["tmp_files"] == 1 and after["entries"] == 1
+    assert store.prune(tmp_grace_s=0.0) == 1  # zero grace sweeps it too
+    assert store.stats()["tmp_files"] == 0
+    assert store.get("test-cube-0bb0") == {"cube": 1}
+
+
+def test_sharded_prune_evicts_globally_oldest(tmp_path):
+    store = ShardedStore.at(tmp_path, 3)
+    for i in range(9):
+        key = f"test-cube-{i:04d}"
+        store.put(key, {"i": i})
+        path = store.shard_for(key)._path(key)
+        os.utime(path, (1000.0 + i, 1000.0 + i))
+    removed = store.prune(max_entries=4)
+    assert removed == 5
+    kept = {key for key, _ in store.iter_records()}
+    assert kept == {f"test-cube-{i:04d}" for i in range(5, 9)}
+
+
+# ---------------------------------------------------------------------------
+# Migration (acceptance: byte-identical envelopes after re-keying)
+# ---------------------------------------------------------------------------
+
+#: ch4 fields that CACHE_VERSION v2 added; a true v1 record lacks them.
+_CH4_V2_FIELDS = (
+    "inlet_delta_c", "channels", "dimms_per_channel",
+    "duty_cycle", "duty_period_s", "bandwidth_scale",
+)
+
+
+def _downgrade_to_v1(store: JsonDirStore, key: str) -> str:
+    """Rewrite ``key``'s record as the v1 entry it would have been."""
+    record = store.read_record(key)
+    v1_fields = {
+        k: v for k, v in record["spec"].items() if k not in _CH4_V2_FIELDS
+    }
+    v1_key = key_for_fields("ch4", v1_fields, cache_version="v1")
+    store.write_document(v1_key, {
+        "format": RECORD_FORMAT,
+        "record": RECORD_VERSION,
+        "cache_version": "v1",
+        "kind": "ch4",
+        "spec": v1_fields,
+        "payload": record["payload"],
+    })
+    store.remove(key)
+    return v1_key
+
+
+def test_migrate_rekeys_v1_entries_to_current(tmp_path):
+    request = SimulateRequest(mix="W1", policy="ts", copies=1)
+    spec = request.spec()
+    store = JsonDirStore(tmp_path)
+    client = ReproClient(store)
+    client.simulate(request)  # cold compute
+    warm_before = client.simulate(request).to_json()
+
+    v1_key = _downgrade_to_v1(store, spec.key())
+    assert v1_key != spec.key()
+    assert store.get(spec.key()) is None  # orphaned without migration
+
+    plan = migrate(store, dry_run=True)
+    assert plan.migrated == 1 and plan.by_version == {"v1": 1}
+    assert store.get(spec.key()) is None  # dry run wrote nothing
+
+    report = migrate(store)
+    assert (report.migrated, report.failed, report.unmigratable) == (1, 0, 0)
+    assert store.get(v1_key) is None  # old key removed
+    record = store.read_record(spec.key())
+    assert record["cache_version"] == CACHE_VERSION
+
+    # The acceptance bar: the warm envelope after migration is
+    # byte-identical to the warm envelope before.
+    warm_after = ReproClient(store).simulate(request)
+    assert warm_after.provenance.cache == "hit"
+    assert warm_after.to_json() == warm_before
+
+    assert migrate(store).current == 1  # idempotent: nothing left to do
+
+
+def test_migrate_reports_unrecorded_unmigratable_failed(tmp_path):
+    store = JsonDirStore(tmp_path)
+    # Bare pre-record file: no metadata to migrate from.
+    store.write_document("test-cube-0ba0", {"cube": 1})
+    # Versioned record of a kind with no registered chain.
+    store.write_document("test-mystery-0a1", make_record(
+        {"p": 1}, {"cache_version": "v1", "kind": "test-mystery",
+                    "spec": {"x": 1}}, key="test-mystery-0a1"))
+
+    def _boom(fields: dict, payload: dict) -> tuple[dict, dict]:
+        raise ValueError("rewriter bug")
+
+    register_rewriter("test-broken", "v1", CACHE_VERSION, _boom)
+    store.write_document("test-broken-0b2", make_record(
+        {"p": 2}, {"cache_version": "v1", "kind": "test-broken",
+                    "spec": {"y": 2}}, key="test-broken-0b2"))
+
+    report = migrate(store)
+    assert report.scanned == 3
+    assert report.unrecorded == 1
+    assert report.unmigratable == 1
+    assert report.failed == 1
+    assert report.migrated == 0
+    # Every problem entry is left untouched and still readable.
+    assert store.get("test-cube-0ba0") == {"cube": 1}
+    assert store.get("test-mystery-0a1") == {"p": 1}
+    assert store.get("test-broken-0b2") == {"p": 2}
+
+
+def test_migrate_sharded_store_and_report_dict(tmp_path):
+    # Migration drives the store through its raw-record protocol
+    # (iter_records / write_document / remove), which a ShardedStore
+    # implements ring-aware: the re-keyed entry must land on the NEW
+    # key's ring shard.
+    store = ShardedStore.at(tmp_path, 3)
+    spec = CubeSpec(11)
+    v1_fields = {"value": 11}
+    v1_key = key_for_fields("test-cube", v1_fields, cache_version="v1")
+    store.write_document(v1_key, {
+        "format": RECORD_FORMAT,
+        "record": RECORD_VERSION,
+        "cache_version": "v1",
+        "kind": "test-cube",
+        "spec": v1_fields,
+        "payload": {"cube": 1331},
+    })
+    register_rewriter("test-cube", "v1", CACHE_VERSION, lambda f, p: (f, p))
+
+    report = migrate(store)
+    assert report.migrated == 1
+    assert store.get(v1_key) is None
+    assert store.get(spec.key()) == {"cube": 1331}
+    assert store.shard_for(spec.key()).get(spec.key()) is not None
+    document = report.to_dict()
+    assert document["migrated"] == 1 and document["by_version"] == {"v1": 1}
+    assert document["target"] == CACHE_VERSION and not document["dry_run"]
+
+
+def test_migrate_skips_record_with_unusable_fields(tmp_path):
+    store = JsonDirStore(tmp_path)
+    store.write_document("test-cube-00ee", {
+        "format": RECORD_FORMAT,
+        "record": RECORD_VERSION,
+        "cache_version": "v1",
+        "kind": "test-cube",
+        "spec": None,  # no key fields: cannot be re-keyed
+        "payload": {"cube": 1},
+    })
+    report = migrate(store)
+    assert report.unmigratable == 1 and report.migrated == 0
+    assert store.get("test-cube-00ee") == {"cube": 1}
+
+
+def test_register_rewriter_rejects_self_map():
+    with pytest.raises(ConfigurationError):
+        register_rewriter("test-self", "v1", "v1", lambda f, p: (f, p))
+
+
+# ---------------------------------------------------------------------------
+# Envelope byte-identity across store layouts (acceptance)
+# ---------------------------------------------------------------------------
+
+
+def test_warm_envelopes_byte_identical_flat_vs_sharded(tmp_path):
+    request = SimulateRequest(mix="W1", policy="ts", copies=1)
+    flat = JsonDirStore(tmp_path / "flat")
+    sharded = ShardedStore.at(tmp_path / "sharded", 3)
+
+    cold_flat = ReproClient(flat).simulate(request)
+    cold_sharded = ReproClient(sharded).simulate(request)
+    # Cold runs differ exactly by shard provenance (a 1.1 field,
+    # omitted entirely on unsharded stores)...
+    assert cold_flat.provenance.shard is None
+    assert cold_sharded.provenance.shard is not None
+    assert "shard" not in cold_flat.to_dict()["provenance"]
+
+    # ...while warm envelopes are byte-for-byte interchangeable.
+    warm_flat = ReproClient(flat).simulate(request)
+    warm_sharded = ReproClient(sharded).simulate(request)
+    assert warm_flat.provenance.cache == "hit"
+    assert warm_sharded.provenance.cache == "hit"
+    assert warm_flat.to_json() == warm_sharded.to_json()
+    # And both stores hold byte-identical payloads for the key.
+    key = request.spec().key()
+    assert flat.get(key) == sharded.get(key)
+
+
+# ---------------------------------------------------------------------------
+# Environment wiring
+# ---------------------------------------------------------------------------
+
+
+def test_default_disk_store_follows_shard_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_SHARDS", raising=False)
+    assert isinstance(default_disk_store(), JsonDirStore)
+
+    monkeypatch.setenv("REPRO_CACHE_SHARDS", "3")
+    store = default_disk_store()
+    assert isinstance(store, ShardedStore)
+    assert cache_shards() == 3
+    # Shards live in their own namespace under the cache dir.
+    assert all(
+        s.root.parent == tmp_path / "shards" for s in store.shards
+    )
+
+    monkeypatch.setenv("REPRO_CACHE_SHARDS", "0")
+    assert isinstance(default_disk_store(), JsonDirStore)
+    monkeypatch.setenv("REPRO_CACHE_SHARDS", "-1")
+    with pytest.raises(ConfigurationError):
+        default_disk_store()
+    monkeypatch.setenv("REPRO_CACHE_SHARDS", "many")
+    with pytest.raises(ConfigurationError):
+        cache_shards()
+
+    monkeypatch.setenv("REPRO_CACHE_SHARDS", "3")
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert default_disk_store() is None
+
+
+def test_single_flight_wraps_default_stack(tmp_path, monkeypatch):
+    from repro.campaign.stores import default_store
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_SHARDS", raising=False)
+    stack = default_store()
+    assert isinstance(stack, SingleFlightStore)
+    assert isinstance(stack.inner, TieredStore)
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    memory_only = default_store()
+    assert isinstance(memory_only, SingleFlightStore)
+    assert isinstance(memory_only.inner, MemoryStore)

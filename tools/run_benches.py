@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the key benchmarks and emit a machine-readable ``BENCH_PR6.json``.
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR7.json``.
 
-The bench trajectory continues from ``BENCH_PR5.json``: one small,
+The bench trajectory continues from ``BENCH_PR6.json``: one small,
 fast, deterministic-in-shape bundle that CI runs on every push and
 uploads as an artifact, so regressions in the hot paths show up as a
 diffable JSON file instead of anecdotes.  Current probes:
@@ -34,6 +34,14 @@ diffable JSON file instead of anecdotes.  Current probes:
 - ``resume_vs_restart`` — a 2-worker fleet loses a worker mid-cell;
   wall clock of the grid with time-sliced (resume-from-checkpoint)
   dispatch vs whole-run (restart-from-zero) dispatch.
+- ``warm_hit_latency`` — per-hit cost of a warm ``get_or_compute``
+  through the flat ``JsonDirStore`` vs a 4-way ``ShardedStore`` (reps
+  interleaved; the ring lookup must stay within 5x of the flat read)
+  and through the memory-fronted tiered stack.
+- ``single_flight_dedup`` — N threads stampede one cold Fig. 4.3 cell
+  through a ``SingleFlightStore``; the bench asserts exactly one
+  compute ran (the PR 7 acceptance bar) and reports the wall clock
+  next to the solo-cell time.
 
 Usage::
 
@@ -60,9 +68,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.specs import Chapter4Spec  # noqa: E402
 from repro.campaign import (  # noqa: E402
     Campaign,
+    JsonDirStore,
     MemoryStore,
     NullStore,
+    ShardedStore,
+    SingleFlightStore,
+    TieredStore,
     engine_for_spec,
+    run_outcome,
     run_payload,
 )
 from repro.campaign.spec import runner_for  # noqa: E402
@@ -504,10 +517,154 @@ def bench_resume_vs_restart() -> dict:
     }
 
 
+#: The sharded warm hit adds one ring lookup (a sha256 + bisect) to the
+#: flat store's read; losing more than this factor means the read path
+#: regressed (e.g. read-repair scanning on the hit path).
+WARM_HIT_MAX_SHARDED_RATIO = 5.0
+
+
+def bench_warm_hit_latency(repeats: int, hits: int = 2000) -> dict:
+    """Per-hit cost of warm lookups across the PR 7 store layouts.
+
+    One payload (a realistic ~1 KB record) is served ``hits`` times
+    from the flat disk store, a 4-way sharded store, and the
+    memory-fronted tiered stack.  Reps interleave the variants so disk
+    weather hits all of them equally; the sharded/flat ratio is
+    asserted because both sides do the same single file read.
+    """
+    import tempfile
+
+    payload = {"trace": [round(0.1 * i, 3) for i in range(100)], "ok": 1}
+    key = "bench-warmhit-00aa"
+
+    def drive(store) -> float:
+        compute = lambda: (payload, {})  # noqa: E731 (never called warm)
+        started = time.perf_counter()
+        for _ in range(hits):
+            _, hit, _ = store.get_or_compute(key, compute)
+            assert hit
+        return time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-warm-") as root:
+        flat = JsonDirStore(Path(root) / "flat")
+        sharded = ShardedStore.at(Path(root) / "sharded", 4)
+        tiered = SingleFlightStore(
+            TieredStore([MemoryStore(), JsonDirStore(Path(root) / "tier")]),
+            scope="bench-warmhit",
+        )
+        for store in (flat, sharded, tiered):
+            store.put(key, payload)
+        samples = {name: [] for name in ("flat", "sharded", "tiered")}
+        for _ in range(repeats):
+            samples["flat"].append(drive(flat))
+            samples["sharded"].append(drive(sharded))
+            samples["tiered"].append(drive(tiered))
+
+    best = {name: min(times) for name, times in samples.items()}
+    ratio = best["sharded"] / best["flat"]
+    assert ratio <= WARM_HIT_MAX_SHARDED_RATIO, (
+        f"sharded warm hit {best['sharded'] / hits * 1e6:.1f} us is "
+        f"{ratio:.2f}x the flat store's (max "
+        f"{WARM_HIT_MAX_SHARDED_RATIO}x) — the hit path regressed"
+    )
+    return {
+        "description": (
+            f"{hits} warm get_or_compute hits on one ~1 KB entry: flat "
+            f"JsonDirStore vs 4-way ShardedStore vs the memory-fronted "
+            f"single-flight stack (reps interleaved)"
+        ),
+        "hits": hits,
+        "flat_us_per_hit": round(best["flat"] / hits * 1e6, 2),
+        "sharded_us_per_hit": round(best["sharded"] / hits * 1e6, 2),
+        "tiered_us_per_hit": round(best["tiered"] / hits * 1e6, 2),
+        "sharded_over_flat": round(ratio, 3),
+        "max_sharded_over_flat": WARM_HIT_MAX_SHARDED_RATIO,
+    }
+
+
+class _CountingFlightStore(SingleFlightStore):
+    """A single-flight store that counts how many computes actually ran."""
+
+    def __init__(self, inner, *, scope: str) -> None:
+        super().__init__(inner, scope=scope)
+        self.computes = 0
+        self._count_lock = threading.Lock()
+
+    def get_or_compute(self, key, compute, meta=None, validate=None):
+        def counted():
+            with self._count_lock:
+                self.computes += 1
+            return compute()
+
+        return super().get_or_compute(key, counted, meta, validate)
+
+
+def bench_single_flight_dedup(threads: int = 6) -> dict:
+    """N threads stampede one cold cell; exactly one compute may run.
+
+    This is the service/vector-backend scenario the
+    :class:`SingleFlightStore` exists for: without coalescing the
+    stampede runs ``threads`` identical GIL-bound simulations.  The
+    bench times the coalesced stampede against the solo cell and
+    asserts the dedup (1 compute, everyone served the same payload).
+    """
+    import tempfile
+
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1)
+    solo_started = time.perf_counter()
+    solo_payload = run_payload(spec, NullStore())[0]
+    solo_seconds = time.perf_counter() - solo_started
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sf-") as root:
+        store = _CountingFlightStore(
+            TieredStore([MemoryStore(), JsonDirStore(Path(root))]),
+            scope="bench-single-flight",
+        )
+        gate = threading.Barrier(threads)
+        outcomes: list = []
+        lock = threading.Lock()
+
+        def stampede() -> None:
+            gate.wait()
+            outcome = run_outcome(spec, store)
+            with lock:
+                outcomes.append(outcome)
+
+        pool = [threading.Thread(target=stampede) for _ in range(threads)]
+        started = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        stampede_seconds = time.perf_counter() - started
+
+    assert store.computes == 1, (
+        f"stampede of {threads} ran {store.computes} computes; "
+        f"single-flight must coalesce them into 1"
+    )
+    assert len(outcomes) == threads
+    assert all(o.payload == solo_payload for o in outcomes)
+    coalesced = sum(
+        1 for o in outcomes if o.store_info.get("single_flight") == "coalesced"
+    )
+    return {
+        "description": (
+            f"{threads} threads stampede one cold W1/ts cell through a "
+            f"SingleFlightStore: exactly 1 compute serves everyone"
+        ),
+        "threads": threads,
+        "computes": store.computes,
+        "coalesced_followers": coalesced,
+        "solo_cell_seconds": round(solo_seconds, 4),
+        "stampede_seconds": round(stampede_seconds, 4),
+        "computes_saved": threads - store.computes,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR6.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR7.json"), metavar="PATH"
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -526,6 +683,10 @@ def main(argv: list[str] | None = None) -> int:
     benches["gang_vs_serial"] = bench_gang_vs_serial(args.repeats)
     print("bench: checkpoint_overhead ...", flush=True)
     benches["checkpoint_overhead"] = bench_checkpoint_overhead(args.repeats)
+    print("bench: warm_hit_latency ...", flush=True)
+    benches["warm_hit_latency"] = bench_warm_hit_latency(args.repeats)
+    print("bench: single_flight_dedup ...", flush=True)
+    benches["single_flight_dedup"] = bench_single_flight_dedup()
     if args.skip_fleet:
         print("bench: campaign_grid_serial ...", flush=True)
         benches["campaign_grid_serial"] = {
@@ -594,6 +755,21 @@ def main(argv: list[str] | None = None) -> int:
         )
         if headline is None and "resume" in bench:
             headline = bench["resume"]["grid_seconds"]
+        if headline is None and "flat_us_per_hit" in bench:
+            print(
+                f"  {name}: flat {bench['flat_us_per_hit']} us/hit, "
+                f"sharded {bench['sharded_us_per_hit']} us/hit, "
+                f"tiered {bench['tiered_us_per_hit']} us/hit"
+            )
+            continue
+        if headline is None and "stampede_seconds" in bench:
+            print(
+                f"  {name}: {bench['stampede_seconds']}s for "
+                f"{bench['threads']} threads "
+                f"({bench['computes']} compute, "
+                f"{bench['computes_saved']} saved)"
+            )
+            continue
         print(f"  {name}: {headline}s{extra}")
     return 0
 
