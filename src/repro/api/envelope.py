@@ -45,7 +45,10 @@ from repro.errors import ConfigurationError
 #: Envelope schema version.  Bump the minor for additive changes, the
 #: major for breaking ones (see the module docstring for the rules).
 #: 1.1: optional ``shard``/``single_flight`` provenance fields.
-SCHEMA_VERSION = "1.1"
+#: 1.2: the jobs/healthz/metrics document family (``/v1/jobs`` job
+#: documents, ``/v1/healthz``, ``/metrics?format=json``); result
+#: envelopes themselves are unchanged.
+SCHEMA_VERSION = "1.2"
 
 #: Provenance values for the ``cache`` field.
 _CACHE_STATES = ("hit", "miss")

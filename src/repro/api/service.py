@@ -16,6 +16,23 @@ Routes (v1):
 - ``GET|POST /v1/compare``          — every ch4 scheme on one mix.
 - ``GET|POST /v1/campaign``         — a named grid.
 - ``GET|POST /v1/scenarios/run``    — registered scenarios by name.
+- ``GET  /v1/healthz``              — liveness: version, uptime, queue
+  depth, and backend kind (always mounted, jobs enabled or not).
+- ``GET  /metrics``                 — the service's metrics registry as
+  Prometheus-style text (``?format=json`` for a JSON document):
+  request-latency histograms per route, queue depth, per-tenant job
+  latency, cache hit/miss counters, fleet health.
+- ``POST /v1/jobs``                 — submit a job (any typed request)
+  with ``tenant``/``priority``; 429 with ``retry_after_s`` when the
+  tenant's quota or rate limit refuses it.  Requires ``serve --jobs``.
+- ``GET  /v1/jobs``                 — list jobs (``?tenant=`` filters).
+- ``GET  /v1/jobs/<id>``            — status with live per-cell
+  progress fed by the PROGRESS broker.
+- ``POST /v1/jobs/<id>/cancel``     — cancel (immediate while queued,
+  at the next window-slice boundary while running).
+- ``GET  /v1/jobs/<id>/result``     — the completed job's result
+  document (409 while not completed); warm results are byte-identical
+  to the equivalent direct CLI/HTTP call.
 - ``GET  /v1/worker/health``        — fleet heartbeat probe (status,
   pid, wire version, runnable spec kinds).
 - ``POST /v1/worker/run``           — execute wire-format cells for a
@@ -36,26 +53,35 @@ Routes (v1):
 GET passes axes as query parameters (comma-separated lists, e.g.
 ``?grid=ch4&mixes=W1,W2&policies=ts,acg``); POST passes a JSON object
 (the ``type`` tag is implied by the route).  Library errors return
-``400 {"schema_version": ..., "error": ...}``; unknown routes 404.
+``400 {"schema_version": ..., "error": ...}``; unknown routes 404;
+refusals carry machine-readable fields (``retry_after_s``, ``reason``).
 
-The server is threaded, so concurrent clients share the process-wide
-memory memo and the on-disk cache: any cell computed once is served
-from cache to every later request.  Identical *simultaneous* cold
-requests are single-flighted: the default store stack coalesces them
-(:class:`~repro.campaign.stores.SingleFlightStore`), so N handler
-threads asking for the same cold cell trigger exactly one compute —
-the others wait and answer with the leader's payload, their envelopes
-marked ``provenance.single_flight = "coalesced"``.
+Concurrency is bounded: the server remains threaded (cheap routes and
+status polls always answer), but the compute routes (the run routes and
+``/v1/worker/run``) share ``max_concurrent_runs`` slots.  A burst of
+cold campaign submits beyond the bound gets a structured 429 with a
+``Retry-After`` header instead of forking unbounded work — submit
+through ``/v1/jobs`` to queue instead of racing for slots.  Identical
+*simultaneous* cold requests within the bound are still single-flighted
+by the store stack (:class:`~repro.campaign.stores.SingleFlightStore`).
+
+``serve`` handles SIGTERM by draining: the jobs scheduler checkpoints
+its in-flight window slice and requeues the job (so a restart resumes
+it warm), then the HTTP loop exits cleanly.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qsl, urlparse
 
+from repro import __version__
 from repro.api.client import ReproClient
 from repro.api.envelope import (
     SCHEMA_VERSION,
@@ -68,6 +94,8 @@ from repro.campaign import spec_kinds_with_types
 from repro.cluster.wire import WIRE_VERSION, cell_from_wire
 from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError, ReproError
+from repro.jobs.metrics import MetricsRegistry
+from repro.jobs.tenancy import QuotaExceeded
 
 #: Query parameters parsed as integers.
 _INT_FIELDS = frozenset({"copies", "jobs"})
@@ -104,6 +132,23 @@ def _params_from_query(query: str) -> dict:
     return params
 
 
+def _route_label(path: str) -> str:
+    """A bounded-cardinality route label for the request histogram."""
+    if path in _RUN_ROUTES:
+        return path
+    if path in (
+        "/v1/scenarios", "/v1/progress", "/v1/healthz", "/metrics",
+        "/v1/worker/health", "/v1/worker/run", "/v1/jobs",
+    ):
+        return path
+    if path.startswith("/v1/jobs/"):
+        suffix = path.rsplit("/", 1)[-1]
+        if suffix in ("cancel", "result"):
+            return f"/v1/jobs/<id>/{suffix}"
+        return "/v1/jobs/<id>"
+    return "other"
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the shared :class:`ReproClient`."""
 
@@ -116,19 +161,39 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _respond(self, status: int, document: dict | str) -> None:
+    def _respond(
+        self,
+        status: int,
+        document: dict | str,
+        *,
+        content_type: str = "application/json",
+        headers: dict | None = None,
+    ) -> None:
         text = document if isinstance(document, str) else dumps_canonical(document)
-        body = (text + "\n").encode()
+        body = (text + "\n").encode() if not text.endswith("\n") else text.encode()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._respond(
-            status, {"schema_version": SCHEMA_VERSION, "error": message}
-        )
+    def _error(
+        self,
+        status: int,
+        message: str,
+        *,
+        extra: dict | None = None,
+        retry_after_s: float | None = None,
+    ) -> None:
+        document = {"schema_version": SCHEMA_VERSION, "error": message}
+        document.update(extra or {})
+        headers = None
+        if retry_after_s is not None:
+            document["retry_after_s"] = retry_after_s
+            headers = {"Retry-After": str(max(1, round(retry_after_s)))}
+        self._respond(status, document, headers=headers)
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -146,42 +211,76 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        url = urlparse(self.path)
-        try:
-            if url.path == "/v1/scenarios":
-                params = _params_from_query(url.query)
-                self._list_scenarios(params)
-            elif url.path == "/v1/progress":
-                self._progress(_params_from_query(url.query))
-            elif url.path == "/v1/worker/health":
-                self._worker_health()
-            elif url.path == "/v1/worker/run":
-                self._error(405, "use POST for /v1/worker/run")
-            elif url.path in _RUN_ROUTES:
-                params = _params_from_query(url.query)
-                self._run(_RUN_ROUTES[url.path], params)
-            else:
-                self._error(404, f"unknown route {url.path!r}")
-        except ReproError as error:
-            self._error(400, str(error))
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
+        started = time.perf_counter()
         try:
-            if url.path in _RUN_ROUTES:
-                self._run(_RUN_ROUTES[url.path], self._read_json_body())
-            elif url.path == "/v1/worker/run":
-                self._worker_run(self._read_json_body())
-            elif url.path == "/v1/worker/health":
-                self._error(405, "use GET for /v1/worker/health")
-            elif url.path == "/v1/progress":
-                self._error(405, "use GET for /v1/progress")
-            elif url.path == "/v1/scenarios":
-                self._error(405, "use GET for /v1/scenarios")
+            if method == "GET":
+                self._route_get(url)
             else:
-                self._error(404, f"unknown route {url.path!r}")
+                self._route_post(url)
+        except QuotaExceeded as error:
+            self._error(
+                429,
+                str(error),
+                extra={"reason": error.reason, "tenant": error.tenant},
+                retry_after_s=error.retry_after_s,
+            )
         except ReproError as error:
             self._error(400, str(error))
+        finally:
+            self.server.metrics.observe(
+                "repro_http_request_seconds",
+                "HTTP request latency per route",
+                time.perf_counter() - started,
+                route=_route_label(url.path),
+                method=method,
+            )
+
+    def _route_get(self, url) -> None:
+        if url.path == "/v1/scenarios":
+            params = _params_from_query(url.query)
+            self._list_scenarios(params)
+        elif url.path == "/v1/progress":
+            self._progress(_params_from_query(url.query))
+        elif url.path == "/v1/healthz":
+            self._healthz()
+        elif url.path == "/metrics":
+            self._metrics(_params_from_query(url.query))
+        elif url.path == "/v1/worker/health":
+            self._worker_health()
+        elif url.path == "/v1/worker/run":
+            self._error(405, "use POST for /v1/worker/run")
+        elif url.path == "/v1/jobs":
+            self._jobs_list(_params_from_query(url.query))
+        elif url.path.startswith("/v1/jobs/"):
+            self._jobs_get(url.path)
+        elif url.path in _RUN_ROUTES:
+            params = _params_from_query(url.query)
+            self._run(_RUN_ROUTES[url.path], params)
+        else:
+            self._error(404, f"unknown route {url.path!r}")
+
+    def _route_post(self, url) -> None:
+        if url.path in _RUN_ROUTES:
+            self._run(_RUN_ROUTES[url.path], self._read_json_body())
+        elif url.path == "/v1/worker/run":
+            self._worker_run(self._read_json_body())
+        elif url.path == "/v1/jobs":
+            self._jobs_submit(self._read_json_body())
+        elif url.path.startswith("/v1/jobs/") and url.path.endswith("/cancel"):
+            self._jobs_cancel(url.path)
+        elif url.path == "/v1/worker/health":
+            self._error(405, "use GET for /v1/worker/health")
+        elif url.path in ("/v1/progress", "/v1/scenarios", "/v1/healthz", "/metrics"):
+            self._error(405, f"use GET for {url.path}")
+        else:
+            self._error(404, f"unknown route {url.path!r}")
 
     # -- handlers ----------------------------------------------------------
 
@@ -213,6 +312,117 @@ class _Handler(BaseHTTPRequestHandler):
             "runs": PROGRESS.snapshot(params.get("key")),
         })
 
+    def _healthz(self) -> None:
+        """Liveness + queue summary (mounted with or without --jobs)."""
+        jobs = self.server.jobs
+        self._respond(200, {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "role": self.server.role,
+            "pid": os.getpid(),
+            "version": __version__,
+            "wire_version": WIRE_VERSION,
+            "uptime_s": round(self.server.uptime_s(), 3),
+            "jobs": None if jobs is None else jobs.health(),
+        })
+
+    def _metrics(self, params: dict) -> None:
+        """The metrics registry, as Prometheus text or JSON."""
+        fmt = params.get("format", "text")
+        if fmt not in ("text", "json"):
+            raise ConfigurationError(
+                f"metrics format must be 'text' or 'json', got {fmt!r}"
+            )
+        jobs = self.server.jobs
+        if jobs is not None:
+            jobs.publish_usage_metrics()
+        self.server.metrics.gauge_set(
+            "repro_uptime_seconds", "Seconds since service start",
+            round(self.server.uptime_s(), 3),
+        )
+        if fmt == "json":
+            self._respond(200, {
+                "schema_version": SCHEMA_VERSION,
+                "metrics": self.server.metrics.render_json(),
+            })
+        else:
+            self._respond(
+                200,
+                self.server.metrics.render_text(),
+                content_type="text/plain; version=0.0.4",
+            )
+
+    # -- jobs --------------------------------------------------------------
+
+    def _jobs_manager(self):
+        jobs = self.server.jobs
+        if jobs is None:
+            self._error(
+                503,
+                "the jobs service is not enabled on this instance "
+                "(start it with 'repro serve --jobs')",
+                extra={"reason": "jobs_disabled"},
+            )
+            return None
+        return jobs
+
+    def _jobs_submit(self, body: dict) -> None:
+        jobs = self._jobs_manager()
+        if jobs is None:
+            return
+        self._respond(202, jobs.submit_body(body))
+
+    def _jobs_list(self, params: dict) -> None:
+        jobs = self._jobs_manager()
+        if jobs is None:
+            return
+        unknown = set(params) - {"tenant"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown job-listing parameters {sorted(unknown)}"
+            )
+        self._respond(200, jobs.list_document(params.get("tenant")))
+
+    def _job_id_from(self, path: str, suffix: str = "") -> str | None:
+        parts = path.split("/")
+        # /v1/jobs/<id> or /v1/jobs/<id>/<suffix>
+        expected = 4 if not suffix else 5
+        if len(parts) != expected or (suffix and parts[4] != suffix):
+            self._error(404, f"unknown route {path!r}")
+            return None
+        return parts[3]
+
+    def _jobs_get(self, path: str) -> None:
+        jobs = self._jobs_manager()
+        if jobs is None:
+            return
+        if path.endswith("/result"):
+            job_id = self._job_id_from(path, "result")
+            if job_id is None:
+                return
+            status, document = jobs.result_document(job_id)
+            self._respond(status, document)
+            return
+        job_id = self._job_id_from(path)
+        if job_id is None:
+            return
+        document = jobs.status_document(job_id)
+        if document is None:
+            self._error(404, f"unknown job {job_id!r}")
+        else:
+            self._respond(200, document)
+
+    def _jobs_cancel(self, path: str) -> None:
+        jobs = self._jobs_manager()
+        if jobs is None:
+            return
+        job_id = self._job_id_from(path, "cancel")
+        if job_id is None:
+            return
+        self._respond(200, jobs.cancel(job_id))
+
+    # -- workers / runs ----------------------------------------------------
+
     def _worker_health(self) -> None:
         """The fleet heartbeat probe: alive, and what this worker can run."""
         self._respond(200, {
@@ -223,6 +433,19 @@ class _Handler(BaseHTTPRequestHandler):
             "wire_version": WIRE_VERSION,
             "kinds": list(spec_kinds_with_types()),
         })
+
+    def _reject_over_capacity(self) -> bool:
+        """429 when every compute slot is busy; True when rejected."""
+        if self.server.acquire_run_slot():
+            return False
+        self._error(
+            429,
+            f"all {self.server.max_concurrent_runs} compute slots are "
+            "busy; retry, or queue the work through POST /v1/jobs",
+            extra={"reason": "capacity"},
+            retry_after_s=1.0,
+        )
+        return True
 
     def _worker_run(self, body: dict) -> None:
         """Execute wire-format cells against this worker's own store.
@@ -253,24 +476,29 @@ class _Handler(BaseHTTPRequestHandler):
             raise ConfigurationError(
                 "worker run 'resume' must map cell keys to engine states"
             )
-        results = []
-        for raw in cells:
-            spec = cell_from_wire(raw)
-            if window_slice is None:
-                payload, hit, seconds = self.server.client.run_cell_payload(spec)
-                results.append({
-                    "key": spec.key(),
-                    "kind": spec.kind,
-                    "payload": payload,
-                    "cache": "hit" if hit else "miss",
-                    "compute_seconds": round(seconds, 6),
-                })
-            else:
-                results.append(
-                    self.server.client.run_cell_slice(
-                        spec, window_slice, resume.get(spec.key())
+        if self._reject_over_capacity():
+            return
+        try:
+            results = []
+            for raw in cells:
+                spec = cell_from_wire(raw)
+                if window_slice is None:
+                    payload, hit, seconds = self.server.client.run_cell_payload(spec)
+                    results.append({
+                        "key": spec.key(),
+                        "kind": spec.kind,
+                        "payload": payload,
+                        "cache": "hit" if hit else "miss",
+                        "compute_seconds": round(seconds, 6),
+                    })
+                else:
+                    results.append(
+                        self.server.client.run_cell_slice(
+                            spec, window_slice, resume.get(spec.key())
+                        )
                     )
-                )
+        finally:
+            self.server.release_run_slot()
         self._respond(
             200, {"schema_version": SCHEMA_VERSION, "results": results}
         )
@@ -287,21 +515,26 @@ class _Handler(BaseHTTPRequestHandler):
                 "jobs is not supported over HTTP; issue concurrent "
                 "requests instead (the cache is shared)"
             )
-        client = self.server.client
-        if type_tag == "simulate":
-            self._respond(200, client.simulate(request).to_json())
-        elif type_tag == "server":
-            self._respond(200, client.server(request).to_json())
-        elif type_tag == "compare":
-            self._respond(200, results_document(client.compare(request)))
-        elif type_tag == "campaign":
-            self._respond(
-                200, results_document(list(client.run_campaign(request)))
-            )
-        else:  # scenarios
-            self._respond(
-                200, results_document(list(client.run_scenarios(request)))
-            )
+        if self._reject_over_capacity():
+            return
+        try:
+            client = self.server.client
+            if type_tag == "simulate":
+                self._respond(200, client.simulate(request).to_json())
+            elif type_tag == "server":
+                self._respond(200, client.server(request).to_json())
+            elif type_tag == "compare":
+                self._respond(200, results_document(client.compare(request)))
+            elif type_tag == "campaign":
+                self._respond(
+                    200, results_document(list(client.run_campaign(request)))
+                )
+            else:  # scenarios
+                self._respond(
+                    200, results_document(list(client.run_scenarios(request)))
+                )
+        finally:
+            self.server.release_run_slot()
 
 
 class ReproService(ThreadingHTTPServer):
@@ -309,6 +542,11 @@ class ReproService(ThreadingHTTPServer):
 
     ``port=0`` binds an ephemeral port; read it back from
     :attr:`port` (or pass ``port_file`` to :func:`serve`).
+
+    ``jobs`` mounts a :class:`~repro.jobs.JobsManager` under
+    ``/v1/jobs`` (the caller starts/stops it — normally :func:`serve`).
+    ``max_concurrent_runs`` bounds the simultaneously executing compute
+    routes; excess requests get a structured 429.
     """
 
     daemon_threads = True
@@ -321,6 +559,8 @@ class ReproService(ThreadingHTTPServer):
         client: ReproClient | None = None,
         verbose: bool = False,
         role: str = "api",
+        jobs=None,
+        max_concurrent_runs: int | None = None,
     ) -> None:
         self.client = client if client is not None else ReproClient()
         self.verbose = verbose
@@ -329,7 +569,33 @@ class ReproService(ThreadingHTTPServer):
         #: but surfaced in banners and health documents so an operator
         #: can tell what a port was started as.
         self.role = role
+        #: The mounted JobsManager (None = jobs routes answer 503).
+        self.jobs = jobs
+        #: One registry serves /metrics; shared with the jobs manager
+        #: so scheduler and transport metrics land in one scrape.
+        self.metrics: MetricsRegistry = (
+            jobs.metrics if jobs is not None else MetricsRegistry()
+        )
+        if max_concurrent_runs is None:
+            max_concurrent_runs = max(2, os.cpu_count() or 2)
+        if max_concurrent_runs < 1:
+            raise ConfigurationError("max_concurrent_runs must be >= 1")
+        self.max_concurrent_runs = max_concurrent_runs
+        self._run_slots = threading.BoundedSemaphore(max_concurrent_runs)
+        self._started_monotonic = time.monotonic()
         super().__init__((host, port), _Handler)
+
+    def uptime_s(self) -> float:
+        """Seconds since this service object was created."""
+        return time.monotonic() - self._started_monotonic
+
+    def acquire_run_slot(self) -> bool:
+        """Take a compute slot without blocking; False when saturated."""
+        return self._run_slots.acquire(blocking=False)
+
+    def release_run_slot(self) -> None:
+        """Return a compute slot."""
+        self._run_slots.release()
 
     @property
     def port(self) -> int:
@@ -350,6 +616,8 @@ def serve(
     port_file: str | None = None,
     verbose: bool = False,
     role: str = "api",
+    jobs=None,
+    max_concurrent_runs: int | None = None,
 ) -> int:
     """Run the service until interrupted (the ``serve``/``worker`` subcommands).
 
@@ -357,19 +625,63 @@ def serve(
     the hook CI, tests, and :class:`~repro.cluster.LocalFleet` use
     with ``--port 0``.  ``role="worker"`` only changes the banner and
     health document; fleet workers serve the full route table.
+
+    With ``jobs`` (a :class:`~repro.jobs.JobsManager`), persisted jobs
+    are recovered and the scheduler starts before the listener; SIGTERM
+    (and Ctrl-C) drain — the in-flight window slice checkpoints and its
+    job requeues — before the process exits, so ``kill <pid>`` never
+    loses acknowledged work.
     """
-    service = ReproService(host, port, client=client, verbose=verbose, role=role)
+    service = ReproService(
+        host, port, client=client, verbose=verbose, role=role,
+        jobs=jobs, max_concurrent_runs=max_concurrent_runs,
+    )
+    draining = threading.Event()
+
+    def _drain_and_shutdown() -> None:
+        if jobs is not None:
+            jobs.stop(drain=True)
+        service.shutdown()
+
+    def _on_sigterm(signum, frame) -> None:
+        if draining.is_set():
+            return
+        draining.set()
+        print("sigterm: draining in-flight slices", flush=True)
+        # shutdown() must not run on the thread inside serve_forever()
+        # (it would deadlock waiting for itself), and a signal handler
+        # runs exactly there — hand the drain to a helper thread.
+        threading.Thread(
+            target=_drain_and_shutdown, name="repro-drain", daemon=True
+        ).start()
+
     try:
+        if jobs is not None:
+            recovered = jobs.start()
+            if recovered["requeued"]:
+                print(
+                    f"recovered {recovered['requeued']} queued/running "
+                    f"job(s) from disk",
+                    flush=True,
+                )
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:
+            pass  # not the main thread (tests drive serve() directly)
         if port_file:
             Path(port_file).write_text(f"{service.port}\n")
         label = "API" if role == "api" else role
+        extras = " with jobs" if jobs is not None else ""
         print(
-            f"serving repro {label} (schema {SCHEMA_VERSION}) on {service.url}",
+            f"serving repro {label}{extras} (schema {SCHEMA_VERSION}) "
+            f"on {service.url}",
             flush=True,
         )
         service.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if jobs is not None and not draining.is_set():
+            jobs.stop(drain=True)
         service.server_close()
     return 0

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from pathlib import Path
 
@@ -77,6 +78,7 @@ from repro.analysis.campaigns import CAMPAIGN_GRIDS
 from repro.analysis.specs import CHAPTER4_POLICY_CHOICES, CHAPTER5_POLICIES
 from repro.analysis.tables import format_csv, format_series, format_table
 from repro.api import (
+    REQUEST_TYPES,
     SCHEMA_VERSION,
     CampaignRequest,
     CompareRequest,
@@ -95,7 +97,13 @@ from repro.campaign import (
     disk_cache_enabled,
     migrate,
 )
-from repro.cluster import BACKEND_CHOICES, backend_for
+from repro.cluster import BACKEND_CHOICES, HttpWorkerBackend, backend_for
+from repro.jobs import (
+    JobsClient,
+    JobsManager,
+    QuotaManager,
+    TenantPolicy,
+)
 from repro.errors import ConfigurationError, ReproError
 from repro.params.thermal_params import COOLING_CONFIGS
 from repro.testbed.platforms import PLATFORMS
@@ -286,6 +294,110 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve", help="serve the API over HTTP (see repro.api.service)"
     )
     add_serve_flags(serve_cmd, default_port=8765)
+    serve_cmd.add_argument(
+        "--jobs", action="store_true",
+        help="mount the multi-tenant job service (/v1/jobs): persistent "
+        "priority queue, per-tenant quotas, preemptive scheduling",
+    )
+    serve_cmd.add_argument(
+        "--jobs-dir", default=".repro_jobs", metavar="DIR",
+        help="directory for persistent job records (default .repro_jobs); "
+        "queued and running jobs found here are resumed on start",
+    )
+    serve_cmd.add_argument(
+        "--jobs-backend", default=None, choices=("vector", "http"),
+        help="where job cells execute; default runs them in-process, "
+        "time-sliced and preemptible at window-slice boundaries",
+    )
+    serve_cmd.add_argument(
+        "--jobs-workers", default=None, metavar="URL[,URL...]",
+        help="worker base URLs for --jobs-backend http",
+    )
+    serve_cmd.add_argument(
+        "--jobs-batch-cells", default=None, type=int, metavar="N",
+        help="gang width cap for --jobs-backend vector",
+    )
+    serve_cmd.add_argument(
+        "--window-slice", type=int, default=500, metavar="N",
+        help="DTM windows per scheduling slice (default 500): the "
+        "preemption/cancel/checkpoint granularity of running jobs",
+    )
+    serve_cmd.add_argument(
+        "--quota-max-active", type=int, default=8, metavar="N",
+        help="default per-tenant cap on queued+running jobs (default 8)",
+    )
+    serve_cmd.add_argument(
+        "--quota-rate", type=float, default=5.0, metavar="R",
+        help="default per-tenant sustained submits/second (default 5)",
+    )
+    serve_cmd.add_argument(
+        "--quota-burst", type=int, default=10, metavar="N",
+        help="default per-tenant submit burst headroom (default 10)",
+    )
+    serve_cmd.add_argument(
+        "--tenant-quota", action="append", default=[],
+        metavar="NAME=MAX_ACTIVE,RATE,BURST",
+        help="override the quota for one tenant (repeatable), e.g. "
+        "--tenant-quota batch=2,1,2",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrent-runs", type=int, default=None, metavar="N",
+        help="bound on simultaneously executing compute requests "
+        "(default: CPU count); excess requests get a structured 429",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs",
+        help="submit and manage jobs on a 'repro serve --jobs' instance",
+    )
+    jobs_action = jobs_cmd.add_subparsers(dest="action", required=True)
+
+    def add_url_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--url", required=True, metavar="URL",
+            help="base URL of a jobs-enabled service "
+            "(e.g. http://127.0.0.1:8765)",
+        )
+
+    j_submit = jobs_action.add_parser(
+        "submit", help="submit one typed request as a job"
+    )
+    add_url_flag(j_submit)
+    j_submit.add_argument(
+        "--type", default="simulate", choices=sorted(REQUEST_TYPES),
+        dest="request_type", help="request type (default simulate)",
+    )
+    j_submit.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="fields",
+        help="request field (repeatable); list axes are comma-separated, "
+        "e.g. --set mixes=W1,W2 --set policies=ts,acg",
+    )
+    j_submit.add_argument("--tenant", default="default")
+    j_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher preempts lower at window-slice boundaries",
+    )
+    j_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal and print its result "
+        "document (byte-identical to the equivalent warm --json run)",
+    )
+    j_submit.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    add_json_flag(j_submit)
+    for action_name, action_help in (
+        ("status", "job status with live per-cell progress"),
+        ("result", "the completed job's result document"),
+        ("cancel", "cancel a queued or running job"),
+    ):
+        action_cmd = jobs_action.add_parser(action_name, help=action_help)
+        action_cmd.add_argument("job_id", metavar="JOB_ID")
+        add_url_flag(action_cmd)
+        add_json_flag(action_cmd)
+    j_list = jobs_action.add_parser("list", help="list known jobs")
+    add_url_flag(j_list)
+    j_list.add_argument("--tenant", default=None, help="filter by tenant")
+    add_json_flag(j_list)
 
     worker_cmd = sub.add_parser(
         "worker",
@@ -643,12 +755,173 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Request fields whose ``--set`` value is a comma-separated name list.
+_LIST_FIELDS = {"mixes", "policies", "variants", "names"}
+
+
+def _parse_field_value(key: str, raw: str):
+    """Lower one ``--set KEY=VALUE`` value to its JSON-shaped form.
+
+    JSON literals pass through (``copies=2``, ``jobs=4``); bare names
+    stay strings; list axes split on commas (``mixes=W1,W2``).
+    """
+    try:
+        return json.loads(raw)
+    except ValueError:
+        pass
+    if key in _LIST_FIELDS:
+        return [part.strip() for part in raw.split(",") if part.strip()]
+    return raw
+
+
+def _job_request_from_flags(args: argparse.Namespace) -> dict:
+    request: dict = {"type": args.request_type}
+    for item in args.fields:
+        key, eq, value = item.partition("=")
+        if not eq or not key:
+            raise ConfigurationError(
+                f"--set expects KEY=VALUE, got {item!r}"
+            )
+        request[key] = _parse_field_value(key, value)
+    return request
+
+
+def _print_job_line(job: dict) -> None:
+    print(
+        f"{job['id']}  {job['status']:<9}  tenant={job['tenant']}  "
+        f"priority={job['priority']}  "
+        f"cells={job['cells_done']}/{job['cells_total']}"
+    )
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = JobsClient(args.url)
+    if args.action == "submit":
+        document = client.submit(
+            _job_request_from_flags(args),
+            tenant=args.tenant,
+            priority=args.priority,
+        )
+        job = document["job"]
+        if args.wait:
+            try:
+                result = client.wait(job["id"], timeout_s=args.timeout)
+            except TimeoutError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if args.json:
+                _print_json(result)
+            else:
+                _print_job_line(client.status(job["id"])["job"])
+            return 0
+        if args.json:
+            _print_json(document)
+        else:
+            _print_job_line(job)
+        return 0
+    if args.action == "list":
+        document = client.list(args.tenant)
+        if args.json:
+            _print_json(document)
+        else:
+            for job in document["jobs"]:
+                _print_job_line(job)
+            if not document["jobs"]:
+                print("no jobs")
+        return 0
+    # status / result / cancel take one job_id
+    call = {
+        "status": client.status,
+        "result": client.result,
+        "cancel": client.cancel,
+    }[args.action]
+    document = call(args.job_id)
+    if args.json:
+        _print_json(document)
+        return 0
+    if args.action == "result":
+        # The result document has no single job line; print it as JSON
+        # (it is the same canonical text --json would emit).
+        _print_json(document)
+        return 0
+    _print_job_line(document["job"])
+    if args.action == "status":
+        for key, done in sorted((document.get("progress") or {}).items()):
+            print(f"  {key}: {done}")
+    return 0
+
+
+def _parse_tenant_quota(item: str) -> tuple[str, TenantPolicy]:
+    name, eq, spec = item.partition("=")
+    parts = spec.split(",")
+    if not eq or not name or len(parts) != 3:
+        raise ConfigurationError(
+            "--tenant-quota expects NAME=MAX_ACTIVE,RATE,BURST, "
+            f"got {item!r}"
+        )
+    try:
+        return name, TenantPolicy(
+            max_active=int(parts[0]),
+            rate_per_s=float(parts[1]),
+            burst=int(parts[2]),
+        )
+    except ValueError as error:
+        raise ConfigurationError(f"bad --tenant-quota {item!r}: {error}")
+
+
+def _jobs_manager_from_flags(args: argparse.Namespace) -> JobsManager:
+    backend = None
+    if args.jobs_backend == "vector":
+        backend = backend_for("vector", batch_cells=args.jobs_batch_cells)
+    elif args.jobs_backend == "http":
+        workers = [
+            url.strip()
+            for url in (args.jobs_workers or "").split(",")
+            if url.strip()
+        ]
+        if not workers:
+            raise ConfigurationError(
+                "--jobs-backend http needs --jobs-workers URL[,URL...]"
+            )
+        backend = HttpWorkerBackend(workers)
+    elif args.jobs_workers or args.jobs_batch_cells is not None:
+        raise ConfigurationError(
+            "--jobs-workers / --jobs-batch-cells need a matching "
+            "--jobs-backend"
+        )
+    quotas = QuotaManager(
+        default=TenantPolicy(
+            max_active=args.quota_max_active,
+            rate_per_s=args.quota_rate,
+            burst=args.quota_burst,
+        ),
+        overrides=dict(
+            _parse_tenant_quota(item) for item in args.tenant_quota
+        ),
+    )
+    return JobsManager(
+        args.jobs_dir,
+        backend=backend,
+        window_slice=args.window_slice,
+        quotas=quotas,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    jobs = _jobs_manager_from_flags(args) if args.jobs else None
+    if not args.jobs and (
+        args.jobs_backend or args.jobs_workers or args.tenant_quota
+    ):
+        raise ConfigurationError(
+            "--jobs-* and --tenant-quota flags need --jobs"
+        )
     return serve(
         host=args.host,
         port=args.port,
         port_file=args.port_file,
         verbose=args.verbose,
+        jobs=jobs,
+        max_concurrent_runs=args.max_concurrent_runs,
     )
 
 
@@ -673,6 +946,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "scenarios": _cmd_scenarios,
         "cache": _cmd_cache,
+        "jobs": _cmd_jobs,
         "serve": _cmd_serve,
         "worker": _cmd_worker,
     }

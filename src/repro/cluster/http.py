@@ -52,7 +52,7 @@ import threading
 import urllib.error
 import urllib.request
 from collections import deque
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.campaign.stores import ResultStore
 from repro.cluster.backends import Cell, CellResult, ExecutionBackend
@@ -140,6 +140,7 @@ class HttpWorkerBackend(ExecutionBackend):
         blacklist_after: int = 2,
         chunk_cells: int | None = None,
         window_slice: int | None = None,
+        on_event: Callable[[dict], None] | None = None,
     ) -> None:
         urls = [_normalize_worker_url(url) for url in workers]
         if not urls:
@@ -179,6 +180,12 @@ class HttpWorkerBackend(ExecutionBackend):
         #: checkpoint state carries the trace-so-far, so each slice
         #: ships it both ways — slice wall time should dwarf that.
         self.window_slice = window_slice
+        #: Optional fleet-event listener: called with a small dict for
+        #: worker deaths and cell requeues (the jobs scheduler turns
+        #: these into job events).  Handlers run under the backend's
+        #: dispatch lock — they must be quick and must not call back
+        #: into this backend.
+        self.on_event = on_event
         self._workers = [_Worker(url) for url in urls]
         #: Cells per request for the current batch (set at submit).
         self._chunk = 1
@@ -514,6 +521,16 @@ class HttpWorkerBackend(ExecutionBackend):
             for held in worker.in_flight.values()
         )
 
+    def _emit(self, event: str, **detail) -> None:
+        """Report a fleet event to the listener (errors swallowed)."""
+        hook = self.on_event
+        if hook is None:
+            return
+        try:
+            hook({"event": event, **detail})
+        except Exception:
+            pass
+
     def _requeue(
         self,
         worker: _Worker,
@@ -524,6 +541,12 @@ class HttpWorkerBackend(ExecutionBackend):
         with self._cond:
             if generation != self._generation:
                 return
+            self._emit(
+                "cells_requeued",
+                worker=worker.url,
+                keys=[cell.key for cell in cells],
+                why=why,
+            )
             worker.consecutive_failures += 1
             if worker.consecutive_failures >= self.blacklist_after:
                 self._mark_worker_dead(worker, generation)
@@ -573,6 +596,12 @@ class HttpWorkerBackend(ExecutionBackend):
         with self._cond:
             if generation != self._generation:
                 return
+            if worker.alive:
+                self._emit(
+                    "worker_dead",
+                    worker=worker.url,
+                    rescued=sorted(worker.in_flight),
+                )
             worker.alive = False
             for key, cell in list(worker.in_flight.items()):
                 worker.in_flight.pop(key, None)

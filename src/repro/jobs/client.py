@@ -1,0 +1,146 @@
+"""A small stdlib HTTP client for the ``/v1/jobs`` lifecycle.
+
+Used by the ``repro jobs`` CLI subcommands and by the
+:class:`~repro.api.client.ReproClient` ``submit_job``/``wait_job``
+façade.  Every error response is structured
+(``{"schema_version", "error", ...}``); :class:`JobsApiError` carries
+the HTTP status and the decoded body so callers can distinguish a 429
+quota refusal (``retry_after_s``) from a 400.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class JobsApiError(ReproError):
+    """A non-2xx answer from the jobs service."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        super().__init__(
+            f"jobs service answered {status}: "
+            f"{body.get('error', 'unknown error')}"
+        )
+        self.status = status
+        self.body = body
+
+    @property
+    def retry_after_s(self) -> float | None:
+        """Backoff hint on 429 responses, when the server sent one."""
+        value = self.body.get("retry_after_s")
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+class JobsClient:
+    """Talk to one jobs-enabled ``python -m repro serve`` instance."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _call(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return json.load(resp)
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode())
+            except ValueError:
+                payload = {"error": f"non-JSON {error.code} response"}
+            raise JobsApiError(error.code, payload) from None
+
+    # -- lifecycle calls -----------------------------------------------------
+
+    def submit(
+        self,
+        request: dict,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> dict:
+        """Submit one typed request dict; returns the job document."""
+        return self._call(
+            "POST",
+            "/v1/jobs",
+            {"request": request, "tenant": tenant, "priority": priority},
+        )
+
+    def status(self, job_id: str) -> dict:
+        """The job's status document (with live per-cell progress)."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The completed job's result document (409 while running)."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; returns the job document."""
+        return self._call("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def list(self, tenant: str | None = None) -> dict:
+        """Every known job, optionally filtered by tenant."""
+        suffix = f"?tenant={tenant}" if tenant else ""
+        return self._call("GET", f"/v1/jobs{suffix}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.25,
+    ) -> dict:
+        """Poll until the job is terminal; returns the result document.
+
+        Raises :class:`JobsApiError` when the job ends cancelled or
+        failed (the 409 result answer), or :class:`TimeoutError` when
+        ``timeout_s`` elapses first.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            document = self.status(job_id)
+            status = document["job"]["status"]
+            if status in ("completed", "failed", "cancelled"):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status!r} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def healthz(self) -> dict:
+        """The service's ``/v1/healthz`` document."""
+        return self._call("GET", "/v1/healthz")
+
+    def metrics_json(self) -> dict:
+        """The ``/metrics?format=json`` document."""
+        return self._call("GET", "/metrics?format=json")
+
+
+def wait_for_port_file(path: str, *, timeout_s: float = 15.0) -> int:
+    """Poll a ``--port-file`` until the serving process writes it."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with open(path) as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    raise TimeoutError(f"no port appeared in {path} within {timeout_s}s")

@@ -1,0 +1,642 @@
+"""The scheduler loop and the service-facing jobs manager.
+
+:class:`JobScheduler` is one daemon thread draining the
+:class:`~repro.jobs.queue.JobQueue` in priority order.  Each job lowers
+through the same typed-request machinery the CLI and HTTP routes use,
+so a job's result document is exactly what the equivalent direct call
+would have produced — warm results are byte-identical.
+
+Execution has two paths:
+
+- **in-process sliced (default, ``backend=None``)** — every cell runs
+  on this thread through its :class:`~repro.engine.SteppingEngine` in
+  ``window_slice``-window slices.  At each slice boundary the engine's
+  checkpoint is persisted into the job record (crash durability) and
+  the scheduler checks for cancellation, a drain request, and queued
+  higher-priority work.  Preemption therefore lands at window-slice
+  granularity: the running job checkpoints, requeues with its original
+  submit sequence, and the urgent job takes the thread.
+- **execution backend** — cells run through
+  :class:`~repro.campaign.Campaign` on any
+  :class:`~repro.cluster.ExecutionBackend` (vector gangs, a process
+  pool, an HTTP worker fleet).  Cancel/preempt/drain are honored at
+  cell boundaries (the backend owns the intra-cell loop); an
+  :class:`~repro.cluster.HttpWorkerBackend`'s heartbeat requeues and
+  worker deaths surface as events on the running job's record.
+
+:class:`JobsManager` bundles queue + scheduler + quotas + metrics into
+the object :class:`~repro.api.service.ReproService` mounts under
+``/v1/jobs`` and ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.api.client import _cell_echo, metrics_from_result
+from repro.api.envelope import SCHEMA_VERSION, Provenance, ResultEnvelope
+from repro.api.requests import (
+    CampaignRequest,
+    CompareRequest,
+    ScenarioRequest,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.campaign import (
+    Campaign,
+    cached_payload,
+    default_store,
+    engine_for_spec,
+    run_outcome,
+    runner_for,
+    spec_meta,
+)
+from repro.engine import EngineState
+from repro.engine.progress import PROGRESS
+from repro.errors import ConfigurationError, ReproError
+from repro.jobs.metrics import MetricsRegistry
+from repro.jobs.queue import JobQueue
+from repro.jobs.store import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    JobRecord,
+)
+from repro.jobs.tenancy import QuotaManager
+
+#: Request types whose result document is one bare envelope (matching
+#: the CLI's single-envelope ``--json`` output).
+_SINGLE_ENVELOPE_TYPES = frozenset({"simulate", "server"})
+
+#: Per-cell slice outcomes (module-private control flow).
+_DONE = "done"
+_PREEMPTED = "preempted"
+_CANCELLED = "cancelled"
+_DRAINED = "drained"
+
+
+def job_progress_label(job_id: str, key: str) -> str:
+    """The PROGRESS broker label for one job's cell.
+
+    Job-scoped so two jobs computing the same cell key (or a job plus a
+    direct API call) publish to distinct streams — per-job isolation.
+    """
+    return f"{job_id}/{key}"
+
+
+def expand_job_request(request: Any) -> tuple[list, list[dict]]:
+    """Lower a typed request to ``(specs, request echoes)``.
+
+    The echoes are exactly what the equivalent direct client call would
+    embed in each envelope, which is what keeps warm job results
+    byte-identical to warm CLI ``--json`` output.
+    """
+    if isinstance(request, CompareRequest):
+        cells = request.cell_requests()
+        return (
+            [cell.spec() for cell in cells],
+            [request_to_dict(cell) for cell in cells],
+        )
+    if isinstance(request, (CampaignRequest, ScenarioRequest)):
+        if request.jobs != 1:
+            raise ConfigurationError(
+                "job requests must have jobs=1: the scheduler (and its "
+                "backend) owns parallelism"
+            )
+        _, specs = request.cells()
+        return specs, [_cell_echo(spec) for spec in specs]
+    # simulate / server
+    return [request.spec()], [request_to_dict(request)]
+
+
+class JobScheduler:
+    """One daemon thread executing queued jobs in priority order."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        store: Any | None = None,
+        backend: Any | None = None,
+        window_slice: int = 500,
+        metrics: MetricsRegistry | None = None,
+        poll_s: float = 0.25,
+    ) -> None:
+        if window_slice < 1:
+            raise ConfigurationError("window_slice must be >= 1")
+        self.queue = queue
+        self._store = store
+        self.backend = backend
+        self.window_slice = window_slice
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._poll_s = poll_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._current: JobRecord | None = None
+        self._current_lock = threading.Lock()
+        if backend is not None and getattr(backend, "on_event", "x") is None:
+            # An HttpWorkerBackend without a listener: surface its
+            # heartbeat requeues / worker deaths on the running job.
+            backend.on_event = self._fleet_event
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-job-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Stop the loop; with ``drain`` the in-flight slice finishes.
+
+        The running job (if any) checkpoints at its next window-slice
+        boundary and goes back to the queue in ``queued`` state, so a
+        subsequent start — in this process or after a restart — resumes
+        it warm.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s if drain else self._poll_s * 4)
+            self._thread = None
+
+    @property
+    def running_job_id(self) -> str | None:
+        """The job currently on the scheduler thread, if any."""
+        with self._current_lock:
+            return self._current.job_id if self._current else None
+
+    def backend_kind(self) -> str:
+        """A short label for the execution backend in use."""
+        if self.backend is None:
+            return "serial"
+        return type(self.backend).__name__.replace("Backend", "").lower()
+
+    # -- the loop -----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.queue.next_ready(timeout_s=self._poll_s)
+            self._publish_queue_gauges()
+            if record is None:
+                continue
+            with self._current_lock:
+                self._current = record
+            try:
+                self._execute(record)
+            except ReproError as error:
+                self._fail(record, str(error))
+            except Exception as error:  # noqa: BLE001 — keep the loop alive
+                self._fail(record, f"{type(error).__name__}: {error}")
+            finally:
+                with self._current_lock:
+                    self._current = None
+                self._publish_queue_gauges()
+
+    def _publish_queue_gauges(self) -> None:
+        self.metrics.gauge_set(
+            "repro_jobs_queue_depth",
+            "Jobs waiting to run",
+            self.queue.depth(),
+        )
+        self.metrics.gauge_set(
+            "repro_jobs_running",
+            "Jobs currently executing",
+            self.queue.running_count(),
+        )
+        backend = self.backend
+        if backend is not None and hasattr(backend, "fleet_stats"):
+            stats = backend.fleet_stats()
+            self.metrics.gauge_set(
+                "repro_fleet_workers_alive",
+                "Fleet workers answering heartbeats",
+                sum(1 for worker in stats if worker["alive"]),
+            )
+            self.metrics.gauge_set(
+                "repro_fleet_workers_dead",
+                "Fleet workers marked dead",
+                sum(1 for worker in stats if not worker["alive"]),
+            )
+
+    def _fleet_event(self, event: dict) -> None:
+        """Backend listener: pin fleet events to the running job."""
+        with self._current_lock:
+            record = self._current
+        if record is None:
+            return
+        name = str(event.get("event", "fleet_event"))
+        detail = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(event.items())
+            if key != "event"
+        )
+        record.add_event(name, detail)
+        self.queue.persist(record)
+        self.metrics.counter_inc(
+            "repro_fleet_events_total", "Fleet events observed", kind=name
+        )
+
+    def _fail(self, record: JobRecord, message: str) -> None:
+        record.status = FAILED
+        record.error = message
+        record.finished_s = round(time.time(), 3)
+        record.add_event("failed", message)
+        self.queue.persist(record)
+        self._observe_finished(record)
+
+    def _observe_finished(self, record: JobRecord) -> None:
+        self.metrics.counter_inc(
+            "repro_jobs_finished_total",
+            "Jobs reaching a terminal state",
+            status=record.status,
+            tenant=record.tenant,
+        )
+        if record.finished_s and record.created_s:
+            self.metrics.observe(
+                "repro_job_latency_seconds",
+                "Submit-to-terminal latency per tenant",
+                max(0.0, record.finished_s - record.created_s),
+                tenant=record.tenant,
+            )
+        if record.started_s and record.created_s:
+            self.metrics.observe(
+                "repro_job_queue_wait_seconds",
+                "Submit-to-first-start wait per tenant",
+                max(0.0, record.started_s - record.created_s),
+                tenant=record.tenant,
+            )
+
+    # -- job execution ------------------------------------------------------
+
+    def _execute(self, record: JobRecord) -> None:
+        request = request_from_dict(record.request)
+        specs, echoes = expand_job_request(request)
+        record.cells_total = len(specs)
+        # A resumed/preempted job's completed cells are already in
+        # record.results; continue from the first unfinished spec.
+        start = min(record.cells_done, len(specs))
+        if self.backend is None:
+            runner = self._run_cells_sliced
+        else:
+            runner = self._run_cells_backend
+        state = runner(record, specs[start:], echoes[start:])
+        if state == _PREEMPTED:
+            record.preemptions += 1
+            self.metrics.counter_inc(
+                "repro_job_preemptions_total",
+                "Jobs preempted by higher-priority submits",
+            )
+            self.queue.requeue(
+                record,
+                event="preempted",
+                detail=f"after {record.cells_done}/{record.cells_total} "
+                f"cell(s); checkpoints kept",
+            )
+            return
+        if state == _DRAINED:
+            self.queue.requeue(
+                record, event="drained", detail="scheduler stopping"
+            )
+            return
+        if state == _CANCELLED:
+            record.status = CANCELLED
+            record.finished_s = round(time.time(), 3)
+            record.add_event("cancelled", "stopped at a slice boundary")
+            self.queue.persist(record)
+            self._observe_finished(record)
+            return
+        record.status = COMPLETED
+        record.finished_s = round(time.time(), 3)
+        record.cell_states.clear()
+        record.add_event("completed")
+        self.queue.persist(record)
+        self._observe_finished(record)
+
+    def _interruption(self, record: JobRecord) -> str | None:
+        """Which interruption applies at this boundary, if any."""
+        if self.queue.cancel_requested(record.job_id):
+            return _CANCELLED
+        if self._stop.is_set():
+            return _DRAINED
+        if self.queue.has_queued_higher_than(record.priority):
+            return _PREEMPTED
+        return None
+
+    def _finish_cell(
+        self,
+        record: JobRecord,
+        spec: Any,
+        echo: dict,
+        result: Any,
+        hit: bool,
+        seconds: float,
+        store_info: dict | None = None,
+    ) -> None:
+        store_info = store_info or {}
+        envelope = ResultEnvelope(
+            kind=spec.kind,
+            scenario=getattr(spec, "scenario", None),
+            request=echo,
+            metrics=metrics_from_result(result),
+            provenance=Provenance(
+                cache="hit" if hit else "miss",
+                cache_key=spec.key(),
+                compute_seconds=round(seconds, 6),
+                shard=store_info.get("shard"),
+                single_flight=store_info.get("single_flight"),
+            ),
+        )
+        record.results.append(envelope.to_dict())
+        record.cells_done += 1
+        record.cell_states.pop(spec.key(), None)
+        self.queue.persist(record)
+        self.metrics.counter_inc(
+            "repro_job_cells_total",
+            "Cells served to jobs by cache state",
+            cache="hit" if hit else "miss",
+        )
+
+    def _run_cells_sliced(
+        self, record: JobRecord, specs: list, echoes: list[dict]
+    ) -> str:
+        """The in-process path: every cell time-sliced on this thread."""
+        for spec, echo in zip(specs, echoes):
+            state = self._run_one_sliced(record, spec, echo)
+            if state != _DONE:
+                return state
+            interruption = self._interruption(record)
+            if interruption is not None and spec is not specs[-1]:
+                return interruption
+        return _DONE
+
+    def _run_one_sliced(self, record: JobRecord, spec: Any, echo: dict) -> str:
+        key = spec.key()
+        payload = cached_payload(spec, self._store)
+        if payload is not None:
+            result = runner_for(spec.kind).decode(payload)
+            self._finish_cell(record, spec, echo, result, True, 0.0)
+            return _DONE
+        try:
+            engine = engine_for_spec(spec)
+        except ConfigurationError:
+            # No engine factory for this kind: whole-run execution,
+            # interruptible only at cell boundaries.
+            outcome = run_outcome(spec, store=self._store)
+            self._finish_cell(
+                record, spec, echo, outcome.result, outcome.hit,
+                outcome.compute_seconds, outcome.store_info,
+            )
+            return _DONE
+        started = time.perf_counter()
+        with PROGRESS.track(job_progress_label(record.job_id, key)):
+            resume = record.cell_states.get(key)
+            if resume is not None:
+                engine.restore(EngineState.from_dict(resume))
+                record.add_event(
+                    "cell_resumed", f"{key} from window {engine.windows}"
+                )
+            while True:
+                engine.step_windows(self.window_slice)
+                if engine.done:
+                    break
+                # Window-slice boundary: persist the checkpoint (crash
+                # durability), then honor cancel/drain/preempt.
+                record.cell_states[key] = engine.checkpoint().to_dict()
+                self.queue.persist(record)
+                interruption = self._interruption(record)
+                if interruption is not None:
+                    return interruption
+            result = engine.finish()
+        seconds = time.perf_counter() - started
+        payload = runner_for(spec.kind).encode(result)
+        store = default_store() if self._store is None else self._store
+        store.put(key, payload, meta=spec_meta(spec))
+        self._finish_cell(record, spec, echo, result, False, seconds)
+        return _DONE
+
+    def _run_cells_backend(
+        self, record: JobRecord, specs: list, echoes: list[dict]
+    ) -> str:
+        """The backend path: cells via Campaign, checks between cells."""
+        echo_by_position = iter(echoes)
+        campaign = Campaign(specs, store=self._store, backend=self.backend)
+        for spec, outcome in campaign.iter_outcomes():
+            self._finish_cell(
+                record, spec, next(echo_by_position), outcome.result,
+                outcome.hit, outcome.compute_seconds, outcome.store_info,
+            )
+            if record.cells_done < record.cells_total:
+                interruption = self._interruption(record)
+                if interruption is not None:
+                    # Abandoning the iterator drops the backend's
+                    # remaining cells; completed ones are cached, so
+                    # the resume recomputes nothing.
+                    return interruption
+        return _DONE
+
+
+class JobsManager:
+    """Queue + scheduler + quotas + metrics behind one façade.
+
+    The object :class:`~repro.api.service.ReproService` mounts: HTTP
+    handlers call :meth:`submit_body` / :meth:`status_document` /
+    :meth:`result_document` / :meth:`cancel` / :meth:`list_document`,
+    and ``serve`` drives :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        jobs_dir: str,
+        *,
+        store: Any | None = None,
+        backend: Any | None = None,
+        window_slice: int = 500,
+        quotas: QuotaManager | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue = JobQueue(jobs_dir)
+        self.quotas = quotas if quotas is not None else QuotaManager()
+        self.scheduler = JobScheduler(
+            self.queue,
+            store=store,
+            backend=backend,
+            window_slice=window_slice,
+            metrics=self.metrics,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> dict:
+        """Recover persisted jobs, then start scheduling.  Returns counts."""
+        recovered = self.queue.recover()
+        self.scheduler.start()
+        return recovered
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop scheduling; with ``drain`` the in-flight slice finishes."""
+        self.scheduler.stop(drain=drain)
+
+    # -- submissions ---------------------------------------------------------
+
+    def submit_body(self, body: dict) -> dict:
+        """Validate and enqueue one ``POST /v1/jobs`` body.
+
+        Raises :class:`~repro.jobs.tenancy.QuotaExceeded` (429) or
+        :class:`~repro.errors.ConfigurationError` (400).
+        """
+        if not isinstance(body, dict):
+            raise ConfigurationError("job submit body must be a JSON object")
+        unknown = set(body) - {"request", "tenant", "priority"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown job submit fields {sorted(unknown)}"
+            )
+        raw_request = body.get("request")
+        if not isinstance(raw_request, dict):
+            raise ConfigurationError(
+                "job submit body needs a 'request' object (a typed API "
+                "request with its 'type' tag)"
+            )
+        tenant = body.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+            raise ConfigurationError(
+                "tenant must be a non-empty string (at most 64 chars)"
+            )
+        priority = body.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ConfigurationError("priority must be an integer")
+        if not -100 <= priority <= 100:
+            raise ConfigurationError("priority must be between -100 and 100")
+        # Validate the request shape (and normalize it) before taking a
+        # quota token or touching disk.
+        request = request_from_dict(raw_request)
+        specs, _ = expand_job_request(request)
+        self.quotas.admit(tenant, self.queue.active_count(tenant))
+        record = self.queue.submit(
+            tenant, request_to_dict(request), priority=priority
+        )
+        record.cells_total = len(specs)
+        self.queue.persist(record)
+        self.metrics.counter_inc(
+            "repro_jobs_submitted_total",
+            "Jobs accepted per tenant",
+            tenant=tenant,
+        )
+        return self.job_document(record)
+
+    # -- documents -----------------------------------------------------------
+
+    def job_document(self, record: JobRecord, *, progress: bool = False) -> dict:
+        """The ``/v1/jobs/<id>`` status document."""
+        job: dict[str, Any] = {
+            "id": record.job_id,
+            "tenant": record.tenant,
+            "priority": record.priority,
+            "status": record.status,
+            "request": dict(record.request),
+            "created_s": record.created_s,
+            "started_s": record.started_s,
+            "finished_s": record.finished_s,
+            "cells_total": record.cells_total,
+            "cells_done": record.cells_done,
+            "preemptions": record.preemptions,
+            "events": list(record.events),
+        }
+        if record.error is not None:
+            job["error"] = record.error
+        if progress:
+            prefix = f"{record.job_id}/"
+            job["progress"] = {
+                label[len(prefix):]: snap
+                for label, snap in PROGRESS.snapshot().items()
+                if label.startswith(prefix)
+            }
+        return {"schema_version": SCHEMA_VERSION, "job": job}
+
+    def status_document(self, job_id: str) -> dict | None:
+        """Status with live per-cell progress, or None when unknown."""
+        record = self.queue.get(job_id)
+        if record is None:
+            return None
+        return self.job_document(record, progress=True)
+
+    def result_document(self, job_id: str) -> tuple[int, dict]:
+        """``(http status, document)`` for ``GET /v1/jobs/<id>/result``.
+
+        A completed single-cell job answers with the bare envelope —
+        byte-identical to the equivalent warm CLI ``--json`` — and
+        multi-cell jobs with the standard results document.
+        """
+        record = self.queue.get(job_id)
+        if record is None:
+            return 404, {
+                "schema_version": SCHEMA_VERSION,
+                "error": f"unknown job {job_id!r}",
+            }
+        if record.status != COMPLETED:
+            return 409, {
+                "schema_version": SCHEMA_VERSION,
+                "error": f"job {job_id} has no result "
+                f"(status {record.status!r})",
+                "status": record.status,
+            }
+        request_type = record.request.get("type")
+        if request_type in _SINGLE_ENVELOPE_TYPES:
+            return 200, dict(record.results[0])
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "results": [dict(result) for result in record.results],
+        }
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; returns the job document."""
+        record = self.queue.request_cancel(job_id)
+        self.metrics.counter_inc(
+            "repro_job_cancels_total",
+            "Cancel requests accepted",
+            tenant=record.tenant,
+        )
+        return self.job_document(record)
+
+    def list_document(self, tenant: str | None = None) -> dict:
+        """The ``GET /v1/jobs`` listing (newest first)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "jobs": [
+                self.job_document(record)["job"]
+                for record in self.queue.list_records(tenant)
+            ],
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    def backend_kind(self) -> str:
+        """The scheduler's execution-backend label."""
+        return self.scheduler.backend_kind()
+
+    def health(self) -> dict:
+        """The jobs section of ``/v1/healthz``."""
+        return {
+            "queue_depth": self.queue.depth(),
+            "running": self.queue.running_count(),
+            "backend": self.backend_kind(),
+        }
+
+    def publish_usage_metrics(self) -> None:
+        """Refresh per-tenant usage gauges (called per /metrics scrape)."""
+        for tenant, usage in self.quotas.usage().items():
+            self.metrics.gauge_set(
+                "repro_tenant_admitted_total",
+                "Submits admitted per tenant since start",
+                usage["admitted"],
+                tenant=tenant,
+            )
+        self.scheduler._publish_queue_gauges()

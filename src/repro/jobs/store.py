@@ -1,0 +1,218 @@
+"""Persistent job records — one atomic JSON file per job.
+
+The jobs service must survive being killed at any instant: a submit
+that was acknowledged is never lost, and a job that was mid-cell
+resumes from its last window-slice checkpoint instead of restarting.
+Both properties come from the same discipline the result cache uses
+(:class:`~repro.campaign.stores.JsonDirStore`): every record mutation
+is written to a temp file in the same directory and published with one
+atomic ``os.replace``.  A reader therefore sees either the previous
+complete record or the new complete record, never a torn write.
+
+The record carries everything needed to resume: the original typed
+request dict, per-cell :class:`~repro.engine.EngineState` checkpoints
+(persisted at every window-slice boundary while the job runs), the
+envelopes of cells already completed, and an append-only event log
+(queued/started/preempted/recovered/...) that doubles as the job's
+audit trail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+#: On-disk record format tag (checked on load).
+RECORD_FORMAT = "repro-job-record"
+#: Record layout version; bump on incompatible layout changes.
+RECORD_VERSION = 1
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+#: Every valid state.
+JOB_STATES = frozenset({QUEUED, RUNNING}) | TERMINAL_STATES
+
+#: Events kept per record (oldest dropped first) so a pathological
+#: preemption ping-pong cannot grow a record without bound.
+_MAX_EVENTS = 200
+
+_tmp_counter = 0
+_tmp_lock = threading.Lock()
+
+
+def new_job_id() -> str:
+    """A fresh, URL-safe job identifier."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class JobRecord:
+    """The full persistent state of one submitted job."""
+
+    job_id: str
+    tenant: str
+    request: dict
+    priority: int = 0
+    status: str = QUEUED
+    #: Monotonic per-queue sequence number: FIFO order within a
+    #: priority band.  A preempted job keeps its original number, so it
+    #: resumes ahead of later same-priority arrivals.
+    submit_seq: int = 0
+    created_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    cells_total: int = 0
+    cells_done: int = 0
+    #: Cache key -> serialized EngineState checkpoint for cells that
+    #: were interrupted mid-run (preemption, SIGTERM drain, crash).
+    cell_states: dict[str, dict] = field(default_factory=dict)
+    #: Envelope dicts of completed cells, in spec order.
+    results: list[dict] = field(default_factory=list)
+    #: How many times the job was preempted by higher-priority work.
+    preemptions: int = 0
+    #: Cooperative-cancel flag checked at window-slice boundaries.
+    cancel_requested: bool = False
+    error: str | None = None
+    events: list[dict] = field(default_factory=list)
+
+    def add_event(self, event: str, detail: str = "") -> None:
+        """Append to the audit log (bounded; oldest evicted)."""
+        entry: dict[str, Any] = {"at_s": round(time.time(), 3), "event": event}
+        if detail:
+            entry["detail"] = detail
+        self.events.append(entry)
+        del self.events[: max(0, len(self.events) - _MAX_EVENTS)]
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can never run again."""
+        return self.status in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready); inverse of :meth:`from_dict`."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "request": dict(self.request),
+            "priority": self.priority,
+            "status": self.status,
+            "submit_seq": self.submit_seq,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "cells_total": self.cells_total,
+            "cells_done": self.cells_done,
+            "cell_states": dict(self.cell_states),
+            "results": list(self.results),
+            "preemptions": self.preemptions,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JobRecord":
+        """Rebuild a record from its dict form."""
+        missing = {"job_id", "tenant", "request", "status"} - set(raw)
+        if missing:
+            raise ConfigurationError(
+                f"job record is missing fields {sorted(missing)}"
+            )
+        if raw["status"] not in JOB_STATES:
+            raise ConfigurationError(
+                f"job record has unknown status {raw['status']!r}"
+            )
+        known = {key for key in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in raw.items() if key in known})
+
+
+class JobStore:
+    """A directory of atomically written job records.
+
+    One ``<job_id>.json`` per job; writes go to a process/thread-unique
+    temp name and publish with ``os.replace``, so a record on disk is
+    always a complete JSON document (the property ``recover()`` relies
+    on after a crash).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job_id: str) -> Path:
+        if "/" in job_id or job_id.startswith("."):
+            raise ConfigurationError(f"malformed job id {job_id!r}")
+        return self.root / f"{job_id}.json"
+
+    def save(self, record: JobRecord) -> None:
+        """Atomically persist ``record`` (publish-or-nothing)."""
+        global _tmp_counter
+        path = self._path(record.job_id)
+        with _tmp_lock:
+            _tmp_counter += 1
+            counter = _tmp_counter
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}.{counter}"
+        )
+        document = {
+            "format": RECORD_FORMAT,
+            "version": RECORD_VERSION,
+            "job": record.to_dict(),
+        }
+        tmp.write_text(json.dumps(document, sort_keys=True))
+        os.replace(tmp, path)
+
+    def load(self, job_id: str) -> JobRecord | None:
+        """The stored record, or None when absent/unreadable."""
+        path = self._path(job_id)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or raw.get("format") != RECORD_FORMAT:
+            return None
+        try:
+            return JobRecord.from_dict(raw.get("job") or {})
+        except ConfigurationError:
+            return None
+
+    def delete(self, job_id: str) -> bool:
+        """Remove a record; True when something was deleted."""
+        try:
+            self._path(job_id).unlink()
+            return True
+        except OSError:
+            return False
+
+    def iter_records(self) -> Iterator[JobRecord]:
+        """Every readable record on disk (order unspecified)."""
+        for path in sorted(self.root.glob("*.json")):
+            record = self.load(path.stem)
+            if record is not None:
+                yield record
+
+    def sweep_tmp(self) -> int:
+        """Remove leftover temp files from crashed writers."""
+        removed = 0
+        for tmp in self.root.glob("*.json.tmp.*"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the key benchmarks and emit a machine-readable ``BENCH_PR7.json``.
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR8.json``.
 
-The bench trajectory continues from ``BENCH_PR6.json``: one small,
+The bench trajectory continues from ``BENCH_PR7.json``: one small,
 fast, deterministic-in-shape bundle that CI runs on every push and
 uploads as an artifact, so regressions in the hot paths show up as a
 diffable JSON file instead of anecdotes.  Current probes:
@@ -42,6 +42,11 @@ diffable JSON file instead of anecdotes.  Current probes:
   through a ``SingleFlightStore``; the bench asserts exactly one
   compute ran (the PR 7 acceptance bar) and reports the wall clock
   next to the solo-cell time.
+- ``job_queue_throughput`` — submit-to-complete latency through the
+  ``repro.jobs`` service: warm single-cell jobs at 1/8/32 queued
+  (the per-job queue overhead — persist, schedule, envelope), and one
+  cold 8-cell compare job on the serial sliced scheduler vs the
+  vector backend's lockstep gang.
 
 Usage::
 
@@ -661,10 +666,113 @@ def bench_single_flight_dedup(threads: int = 6) -> dict:
     }
 
 
+#: The job-bench cold workload: the full Fig. 4.3 comparison — eight
+#: same-workload cells that the vector backend runs as one lockstep
+#: gang through the grid kernel, while the serial scheduler steps them
+#: one by one.
+JOB_COLD_REQUEST = {"type": "compare", "mix": "W1", "copies": 1}
+JOB_COLD_CELLS = 8
+
+
+def bench_job_queue_throughput(repeats: int) -> dict:
+    """Submit-to-complete latency through the jobs service.
+
+    Two probes of :mod:`repro.jobs`:
+
+    - warm jobs at 1/8/32 queued, on the serial sliced scheduler and
+      on the vector backend: every cell is a cache hit, so the
+      measured time is pure service overhead — persist, enqueue,
+      schedule, envelope, persist again — per job;
+    - one cold 8-cell compare job (the Fig. 4.3 scheme sweep) on the
+      serial (sliced, preemptible) scheduler vs the vector backend,
+      which lock-steps the same-workload cells as one gang.
+    """
+    import tempfile
+
+    from repro.cluster import VectorBackend
+    from repro.jobs import JobsManager, QuotaManager, TenantPolicy
+
+    warm_request = {
+        "type": "simulate", "mix": "W1", "policy": "ts", "copies": 1,
+    }
+    warm_store = MemoryStore()
+    run_outcome(
+        Chapter4Spec(mix="W1", policy="ts", copies=1), store=warm_store
+    )
+
+    def drive(store, request, count, backend=None) -> float:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-jobs-") as root:
+            manager = JobsManager(
+                root, store=store, backend=backend, window_slice=2000,
+                # The bench measures the queue, not the admission
+                # control: quotas sized so 32 queued jobs all admit.
+                quotas=QuotaManager(TenantPolicy(
+                    max_active=64, rate_per_s=10_000.0, burst=64,
+                )),
+            )
+            manager.start()
+            try:
+                started = time.perf_counter()
+                job_ids = [
+                    manager.submit_body({"request": request})["job"]["id"]
+                    for _ in range(count)
+                ]
+                deadline = time.monotonic() + 600
+                for job_id in job_ids:
+                    while not manager.queue.get(job_id).terminal:
+                        assert time.monotonic() < deadline, "bench job hung"
+                        time.sleep(0.0005)
+                elapsed = time.perf_counter() - started
+                records = [manager.queue.get(job_id) for job_id in job_ids]
+                assert all(r.status == "completed" for r in records), (
+                    [r.error for r in records]
+                )
+                return elapsed
+            finally:
+                manager.stop(drain=False)
+
+    result: dict = {
+        "description": (
+            "submit-to-complete latency through the jobs service: warm "
+            "single-cell jobs at 1/8/32 queued (pure queue overhead), "
+            "and one cold 8-cell compare job (Fig. 4.3 sweep), serial "
+            "sliced scheduler vs vector-backend lockstep gang"
+        ),
+    }
+    for load in (1, 8, 32):
+        serial_best = min(
+            drive(warm_store, warm_request, load) for _ in range(repeats)
+        )
+        vector_best = min(
+            drive(warm_store, warm_request, load, backend=VectorBackend())
+            for _ in range(repeats)
+        )
+        result[f"warm_{load}_jobs_serial_seconds"] = round(serial_best, 4)
+        result[f"warm_{load}_jobs_vector_seconds"] = round(vector_best, 4)
+        result[f"warm_{load}_jobs_ms_per_job"] = round(
+            min(serial_best, vector_best) / load * 1e3, 3
+        )
+
+    serial_cold = min(
+        drive(MemoryStore(), JOB_COLD_REQUEST, 1) for _ in range(repeats)
+    )
+    vector_cold = min(
+        drive(MemoryStore(), JOB_COLD_REQUEST, 1, backend=VectorBackend())
+        for _ in range(repeats)
+    )
+    result["cold_compare_cells"] = JOB_COLD_CELLS
+    result["cold_compare_serial_seconds"] = round(serial_cold, 4)
+    result["cold_compare_vector_seconds"] = round(vector_cold, 4)
+    result["cold_compare_vector_speedup"] = round(
+        serial_cold / vector_cold, 3
+    )
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR7.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR8.json"), metavar="PATH"
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -687,6 +795,8 @@ def main(argv: list[str] | None = None) -> int:
     benches["warm_hit_latency"] = bench_warm_hit_latency(args.repeats)
     print("bench: single_flight_dedup ...", flush=True)
     benches["single_flight_dedup"] = bench_single_flight_dedup()
+    print("bench: job_queue_throughput ...", flush=True)
+    benches["job_queue_throughput"] = bench_job_queue_throughput(args.repeats)
     if args.skip_fleet:
         print("bench: campaign_grid_serial ...", flush=True)
         benches["campaign_grid_serial"] = {
@@ -760,6 +870,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"  {name}: flat {bench['flat_us_per_hit']} us/hit, "
                 f"sharded {bench['sharded_us_per_hit']} us/hit, "
                 f"tiered {bench['tiered_us_per_hit']} us/hit"
+            )
+            continue
+        if headline is None and "warm_1_jobs_ms_per_job" in bench:
+            print(
+                f"  {name}: warm {bench['warm_1_jobs_ms_per_job']}/"
+                f"{bench['warm_8_jobs_ms_per_job']}/"
+                f"{bench['warm_32_jobs_ms_per_job']} ms/job at 1/8/32, "
+                f"cold compare serial "
+                f"{bench['cold_compare_serial_seconds']}s vs vector "
+                f"{bench['cold_compare_vector_seconds']}s "
+                f"({bench['cold_compare_vector_speedup']}x)"
             )
             continue
         if headline is None and "stampede_seconds" in bench:
