@@ -47,6 +47,7 @@ from repro.campaign import (
 )
 from repro.engine import CheckpointFile, CheckpointObserver, EngineState
 from repro.engine.progress import PROGRESS
+from repro.obs.trace import TRACER
 from repro.scenarios import iter_scenarios
 
 
@@ -162,7 +163,8 @@ class ReproClient:
         other route reads), returning ``(payload, hit, seconds)`` for
         the coordinator to merge into its own store.
         """
-        return run_payload(spec, self._store)
+        with TRACER.span("worker.run", key=spec.key(), kind=spec.kind):
+            return run_payload(spec, self._store)
 
     def run_cell_slice(
         self,
@@ -199,7 +201,9 @@ class ReproClient:
         engine = engine_for_spec(spec)
         resumed_from = 0
         started = time.perf_counter()
-        with PROGRESS.track(key):
+        with TRACER.span(
+            "worker.slice", key=key, kind=spec.kind, slice=window_slice
+        ), PROGRESS.track(key):
             if resume_state is not None:
                 engine.restore(EngineState.from_dict(resume_state))
                 resumed_from = engine.windows

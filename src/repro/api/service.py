@@ -94,8 +94,11 @@ from repro.campaign import spec_kinds_with_types
 from repro.cluster.wire import WIRE_VERSION, cell_from_wire
 from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError, ReproError
-from repro.jobs.metrics import MetricsRegistry
 from repro.jobs.tenancy import QuotaExceeded
+from repro.obs.log import LOG
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.slo import slo_document
+from repro.obs.trace import TRACE_HEADER, TRACER, chrome_trace
 
 #: Query parameters parsed as integers.
 _INT_FIELDS = frozenset({"copies", "jobs"})
@@ -138,9 +141,11 @@ def _route_label(path: str) -> str:
         return path
     if path in (
         "/v1/scenarios", "/v1/progress", "/v1/healthz", "/metrics",
-        "/v1/worker/health", "/v1/worker/run", "/v1/jobs",
+        "/v1/worker/health", "/v1/worker/run", "/v1/jobs", "/v1/slo",
     ):
         return path
+    if path.startswith("/v1/trace/"):
+        return "/v1/trace/<id>"
     if path.startswith("/v1/jobs/"):
         suffix = path.rsplit("/", 1)[-1]
         if suffix in ("cancel", "result"):
@@ -218,6 +223,26 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
+        # Adopt the caller's trace context (if any) for the whole
+        # request, and wrap the route in a server-side span, so
+        # engine/job/cell spans opened on this handler thread nest
+        # under the remote caller's span.
+        remote = TRACER.parse_header(self.headers.get(TRACE_HEADER))
+        if remote is not None and TRACER.enabled:
+            with TRACER.activate(*remote):
+                with TRACER.span(
+                    "http", route=_route_label(url.path), method=method
+                ):
+                    self._dispatch_inner(method, url)
+        elif TRACER.enabled:
+            with TRACER.span(
+                "http", route=_route_label(url.path), method=method
+            ):
+                self._dispatch_inner(method, url)
+        else:
+            self._dispatch_inner(method, url)
+
+    def _dispatch_inner(self, method: str, url) -> None:
         started = time.perf_counter()
         try:
             if method == "GET":
@@ -260,6 +285,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._jobs_list(_params_from_query(url.query))
         elif url.path.startswith("/v1/jobs/"):
             self._jobs_get(url.path)
+        elif url.path == "/v1/slo":
+            self._slo()
+        elif url.path.startswith("/v1/trace/"):
+            self._trace(url.path)
         elif url.path in _RUN_ROUTES:
             params = _params_from_query(url.query)
             self._run(_RUN_ROUTES[url.path], params)
@@ -277,7 +306,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._jobs_cancel(url.path)
         elif url.path == "/v1/worker/health":
             self._error(405, "use GET for /v1/worker/health")
-        elif url.path in ("/v1/progress", "/v1/scenarios", "/v1/healthz", "/metrics"):
+        elif url.path in (
+            "/v1/progress", "/v1/scenarios", "/v1/healthz", "/metrics",
+            "/v1/slo",
+        ) or url.path.startswith("/v1/trace/"):
             self._error(405, f"use GET for {url.path}")
         else:
             self._error(404, f"unknown route {url.path!r}")
@@ -351,6 +383,44 @@ class _Handler(BaseHTTPRequestHandler):
                 self.server.metrics.render_text(),
                 content_type="text/plain; version=0.0.4",
             )
+
+    def _slo(self) -> None:
+        """Current SLO verdicts from the service's metrics registry."""
+        jobs = self.server.jobs
+        if jobs is not None:
+            jobs.publish_usage_metrics()
+        document = slo_document(self.server.metrics)
+        document["schema_version"] = SCHEMA_VERSION
+        self._respond(200, document)
+
+    def _trace(self, path: str) -> None:
+        """One trace's spans from the in-process ring.
+
+        ``?format=chrome`` (the default) answers with a Chrome
+        trace-event document; ``?format=spans`` with the raw span
+        dicts.  Unknown trace ids answer 404 — the ring is bounded, so
+        old traces age out.
+        """
+        trace_id = path[len("/v1/trace/"):]
+        url = urlparse(self.path)
+        params = _params_from_query(url.query)
+        fmt = params.get("format", "chrome")
+        if fmt not in ("chrome", "spans"):
+            raise ConfigurationError(
+                f"trace format must be 'chrome' or 'spans', got {fmt!r}"
+            )
+        spans = TRACER.spans(trace_id)
+        if not spans:
+            self._error(404, f"no spans retained for trace {trace_id!r}")
+            return
+        if fmt == "spans":
+            self._respond(200, {
+                "schema_version": SCHEMA_VERSION,
+                "trace_id": trace_id,
+                "spans": [span.to_dict() for span in spans],
+            })
+            return
+        self._respond(200, chrome_trace(spans))
 
     # -- jobs --------------------------------------------------------------
 
@@ -572,9 +642,10 @@ class ReproService(ThreadingHTTPServer):
         #: The mounted JobsManager (None = jobs routes answer 503).
         self.jobs = jobs
         #: One registry serves /metrics; shared with the jobs manager
-        #: so scheduler and transport metrics land in one scrape.
+        #: (which defaults to the process-wide METRICS), so engine,
+        #: store, cluster, and scheduler series land in one scrape.
         self.metrics: MetricsRegistry = (
-            jobs.metrics if jobs is not None else MetricsRegistry()
+            jobs.metrics if jobs is not None else METRICS
         )
         if max_concurrent_runs is None:
             max_concurrent_runs = max(2, os.cpu_count() or 2)
@@ -647,7 +718,10 @@ def serve(
         if draining.is_set():
             return
         draining.set()
-        print("sigterm: draining in-flight slices", flush=True)
+        LOG.info(
+            "service.draining", "sigterm: draining in-flight slices",
+            role=role,
+        )
         # shutdown() must not run on the thread inside serve_forever()
         # (it would deadlock waiting for itself), and a signal handler
         # runs exactly there — hand the drain to a helper thread.
@@ -659,10 +733,11 @@ def serve(
         if jobs is not None:
             recovered = jobs.start()
             if recovered["requeued"]:
-                print(
+                LOG.info(
+                    "service.recovered",
                     f"recovered {recovered['requeued']} queued/running "
                     f"job(s) from disk",
-                    flush=True,
+                    requeued=recovered["requeued"],
                 )
         try:
             signal.signal(signal.SIGTERM, _on_sigterm)
@@ -672,10 +747,13 @@ def serve(
             Path(port_file).write_text(f"{service.port}\n")
         label = "API" if role == "api" else role
         extras = " with jobs" if jobs is not None else ""
-        print(
+        LOG.info(
+            "service.listening",
             f"serving repro {label}{extras} (schema {SCHEMA_VERSION}) "
             f"on {service.url}",
-            flush=True,
+            role=role,
+            url=service.url,
+            jobs=jobs is not None,
         )
         service.serve_forever()
     except KeyboardInterrupt:

@@ -26,6 +26,8 @@ from repro.campaign.spec import RunSpec, runner_for, spec_meta
 from repro.campaign.stores import GLOBAL_MEMORY, ResultStore, default_store
 from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 #: Per-process memo of decoded results, so repeated cache hits don't
 #: re-decode payloads (temperature traces rebuild point by point).
@@ -91,9 +93,16 @@ def _outcome(spec: RunSpec, store: ResultStore) -> RunOutcome:
         # Label the execution with its cache key so engine-hosted runs
         # surface live snapshots under /v1/progress (no-op for
         # consumers that never read the broker).
-        with PROGRESS.track(key):
-            fresh = runner.execute(spec)
+        with TRACER.span("cell", key=key, kind=spec.kind):
+            with PROGRESS.track(key):
+                fresh = runner.execute(spec)
         seconds = time.perf_counter() - started
+        METRICS.observe(
+            "repro_cell_compute_seconds",
+            "Cold-cell compute wall time by kind",
+            seconds,
+            kind=spec.kind,
+        )
         return runner.encode(fresh), {"compute_seconds": seconds}
 
     payload, hit, info = store.get_or_compute(

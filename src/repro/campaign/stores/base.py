@@ -25,6 +25,17 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Mapping
 
+from repro.obs.metrics import METRICS
+
+
+def _count_request(hit: bool) -> None:
+    """Feed the warm-hit-ratio SLO: one sample per lookup transaction."""
+    METRICS.counter_inc(
+        "repro_store_requests_total",
+        "Result-store lookup transactions by cache outcome",
+        cache="hit" if hit else "miss",
+    )
+
 
 class ResultStore(ABC):
     """Key -> payload-dict storage with cache-miss-as-None semantics."""
@@ -70,11 +81,13 @@ class ResultStore(ABC):
         """
         payload = self.get(key)
         if payload is not None and (validate is None or validate(payload)):
+            _count_request(hit=True)
             return payload, True, {}
         payload, info = compute()
         self.put(key, payload, meta=meta)
         info = dict(info)
         info.update(self.describe(key))
+        _count_request(hit=False)
         return payload, False, info
 
     def __contains__(self, key: str) -> bool:

@@ -38,7 +38,16 @@ from __future__ import annotations
 import threading
 from typing import Callable, Mapping
 
-from repro.campaign.stores.base import ResultStore
+from repro.campaign.stores.base import ResultStore, _count_request
+from repro.obs.metrics import METRICS
+
+
+def _count_flight(outcome: str) -> None:
+    METRICS.counter_inc(
+        "repro_store_single_flight_total",
+        "Coalesced-compute transactions by role outcome",
+        outcome=outcome,
+    )
 
 #: Flight-table scope used by the default store stack.
 DEFAULT_SCOPE = "default"
@@ -140,6 +149,7 @@ class SingleFlightStore(ResultStore):
     ) -> tuple[dict, bool, dict]:
         payload = self.inner.get(key)
         if payload is not None and (validate is None or validate(payload)):
+            _count_request(hit=True)
             return payload, True, {}
         ident = threading.get_ident()
         with _FLIGHTS_LOCK:
@@ -157,6 +167,8 @@ class SingleFlightStore(ResultStore):
         if role == "follower":
             flight.event.wait()
             if flight.payload is not None:
+                _count_request(hit=True)
+                _count_flight("coalesced")
                 return flight.payload, True, {"single_flight": "coalesced"}
             # Leader failed; fall through to computing ourselves
             # (un-coalesced, but correct).
@@ -170,11 +182,14 @@ class SingleFlightStore(ResultStore):
             self.settle(key, payload)
             info = dict(info)
             info.update(self.describe(key))
+            _count_request(hit=False)
+            _count_flight("led")
             return payload, False, info
         payload, info = compute()
         self.inner.put(key, payload, meta=meta)
         info = dict(info)
         info.update(self.describe(key))
+        _count_request(hit=False)
         return payload, False, info
 
 

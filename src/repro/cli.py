@@ -72,6 +72,8 @@ import argparse
 import contextlib
 import json
 import sys
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 from repro.analysis.campaigns import CAMPAIGN_GRIDS
@@ -105,6 +107,16 @@ from repro.jobs import (
     TenantPolicy,
 )
 from repro.errors import ConfigurationError, ReproError
+from repro.obs import (
+    DEFAULT_SLOS,
+    LOG,
+    TRACER,
+    chrome_trace,
+    read_jsonl,
+    render_alert_rules,
+    with_overrides,
+)
+from repro.obs.slo import BREACH, NO_DATA, parse_overrides
 from repro.params.thermal_params import COOLING_CONFIGS
 from repro.testbed.platforms import PLATFORMS
 from repro.testbed.runner import run_homogeneous
@@ -249,6 +261,17 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         command.add_argument(
             "--verbose", action="store_true", help="log each HTTP request"
+        )
+        command.add_argument(
+            "--trace", action="store_true",
+            help="record spans for every request/campaign window "
+            "(also REPRO_TRACE=1); export with 'repro trace export' "
+            "or GET /v1/trace/<trace_id>",
+        )
+        command.add_argument(
+            "--log-json", action="store_true",
+            help="emit one-line JSON logs (ts/level/event/trace_id) on "
+            "stderr instead of plain text (also REPRO_LOG_JSON=1)",
         )
 
     cache = sub.add_parser(
@@ -405,6 +428,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "HttpWorkerBackend coordinator dispatches cells to)",
     )
     add_serve_flags(worker_cmd, default_port=9001)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="export recorded traces (Chrome trace-event JSON)"
+    )
+    trace_action = trace_cmd.add_subparsers(dest="action", required=True)
+    t_export = trace_action.add_parser(
+        "export",
+        help="convert a span source to Chrome trace JSON "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    t_export.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="JSONL span sink written under REPRO_TRACE_JSONL",
+    )
+    t_export.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a traced service; fetches /v1/trace/<trace-id>",
+    )
+    t_export.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="trace to export (required with --url; filters --input)",
+    )
+    t_export.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the Chrome trace here (default stdout)",
+    )
+
+    slo_cmd = sub.add_parser(
+        "slo", help="evaluate service-level objectives against a service"
+    )
+    slo_action = slo_cmd.add_subparsers(dest="action", required=True)
+    s_check = slo_action.add_parser(
+        "check",
+        help="fetch /v1/slo and exit nonzero on any breach (CI gate)",
+    )
+    s_check.add_argument(
+        "--url", required=True, metavar="URL",
+        help="base URL of a running service (e.g. http://127.0.0.1:8765)",
+    )
+    s_check.add_argument(
+        "--override", action="append", default=[], metavar="NAME=THRESHOLD",
+        dest="overrides",
+        help="tighten/loosen one SLO threshold client-side (repeatable), "
+        "e.g. --override warm_hit_ratio=0.9",
+    )
+    add_json_flag(s_check)
+    s_rules = slo_action.add_parser(
+        "rules",
+        help="print the SLO set as a Prometheus alerting-rules file "
+        "(multi-window burn-rate alerts)",
+    )
+    s_rules.add_argument(
+        "--override", action="append", default=[], metavar="NAME=THRESHOLD",
+        dest="overrides", help="per-SLO threshold override (repeatable)",
+    )
     return parser
 
 
@@ -907,7 +985,126 @@ def _jobs_manager_from_flags(args: argparse.Namespace) -> JobsManager:
     )
 
 
+def _apply_obs_flags(args: argparse.Namespace) -> None:
+    """Honor --trace / --log-json before the service starts."""
+    if args.trace:
+        TRACER.configure(enabled=True)
+    if args.log_json:
+        LOG.configure(json_mode=True)
+
+
+def _fetch_json(url: str) -> dict:
+    """GET ``url`` and parse the JSON body (ReproError on failure)."""
+    try:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        raise ConfigurationError(
+            f"GET {url} failed: HTTP {error.code}"
+        ) from None
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        raise ConfigurationError(f"GET {url} failed: {error}") from None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if (args.input is None) == (args.url is None):
+        raise ConfigurationError(
+            "trace export needs exactly one span source: --input JSONL "
+            "or --url (with --trace-id)"
+        )
+    if args.url is not None:
+        if not args.trace_id:
+            raise ConfigurationError("--url requires --trace-id")
+        base = args.url.rstrip("/")
+        document = _fetch_json(
+            f"{base}/v1/trace/{args.trace_id}?format=chrome"
+        )
+    else:
+        spans = list(read_jsonl(args.input))
+        if args.trace_id:
+            spans = [s for s in spans if s.trace_id == args.trace_id]
+        if not spans:
+            raise ConfigurationError(
+                f"no spans in {args.input!r}"
+                + (f" for trace {args.trace_id}" if args.trace_id else "")
+            )
+        document = chrome_trace(spans)
+    text = json.dumps(document, sort_keys=True)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(
+            f"exported {len(document['traceEvents'])} event(s) to {path}",
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _override_results(slos: list[dict], overrides: dict[str, float]) -> None:
+    """Re-verdict fetched SLO results against client-side thresholds.
+
+    The service reported each objective's measured value; overriding a
+    threshold is therefore a pure client-side re-check — no second
+    scrape, and a deliberate way to gate CI tighter than the deployed
+    defaults (or synthesize a breach to test the gate itself).
+    """
+    known = {entry["name"] for entry in slos}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown SLO name(s) {unknown}; known: {sorted(known)}"
+        )
+    for entry in slos:
+        if entry["name"] not in overrides:
+            continue
+        threshold = overrides[entry["name"]]
+        entry["threshold"] = threshold
+        if entry["status"] == NO_DATA or entry["value"] is None:
+            continue
+        if entry["direction"] == "le":
+            satisfied = entry["value"] <= threshold
+        else:
+            satisfied = entry["value"] >= threshold
+        entry["status"] = "ok" if satisfied else BREACH
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    overrides = parse_overrides(args.overrides)
+    if args.action == "rules":
+        print(render_alert_rules(with_overrides(DEFAULT_SLOS, overrides)), end="")
+        return 0
+    document = _fetch_json(args.url.rstrip("/") + "/v1/slo")
+    slos = document.get("slos", [])
+    _override_results(slos, overrides)
+    breaches = sum(1 for entry in slos if entry["status"] == BREACH)
+    document["breaches"] = breaches
+    document["status"] = BREACH if breaches else "ok"
+    if args.json:
+        _print_json(document)
+    else:
+        rows = [
+            [
+                entry["name"],
+                entry["status"],
+                "-" if entry["value"] is None else round(entry["value"], 4),
+                f"{'<=' if entry['direction'] == 'le' else '>='} "
+                f"{entry['threshold']}",
+                entry["detail"],
+            ]
+            for entry in slos
+        ]
+        print(format_table(
+            ["slo", "status", "value", "objective", "detail"], rows
+        ))
+        print(f"\noverall: {document['status']} ({breaches} breach(es))")
+    return 1 if breaches else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _apply_obs_flags(args)
     jobs = _jobs_manager_from_flags(args) if args.jobs else None
     if not args.jobs and (
         args.jobs_backend or args.jobs_workers or args.tenant_quota
@@ -926,6 +1123,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    _apply_obs_flags(args)
     return serve(
         host=args.host,
         port=args.port,
@@ -949,6 +1147,8 @@ def main(argv: list[str] | None = None) -> int:
         "jobs": _cmd_jobs,
         "serve": _cmd_serve,
         "worker": _cmd_worker,
+        "trace": _cmd_trace,
+        "slo": _cmd_slo,
     }
     try:
         return handlers[args.command](args)

@@ -58,6 +58,9 @@ from repro.campaign.stores import ResultStore
 from repro.cluster.backends import Cell, CellResult, ExecutionBackend
 from repro.cluster.wire import cell_to_wire
 from repro.errors import ClusterError, ConfigurationError
+from repro.obs.log import LOG
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE_HEADER, TRACER
 
 #: Exceptions that mean "this worker, this time" — retry elsewhere.
 _TRANSIENT_ERRORS = (
@@ -238,6 +241,10 @@ class HttpWorkerBackend(ExecutionBackend):
             raise ConfigurationError("backend is closed")
         self._end_batch()
         self._stop.clear()
+        # Pump threads have no ambient trace context (contextvars do not
+        # cross threads); capture the submitting caller's context once
+        # and replay it on every worker request this batch makes.
+        self._trace_header = TRACER.propagation_header()
         with self._cond:
             self._generation += 1
             generation = self._generation
@@ -403,10 +410,14 @@ class HttpWorkerBackend(ExecutionBackend):
             }
             if resume:
                 body["resume"] = resume
+        headers = {"Content-Type": "application/json"}
+        trace_header = getattr(self, "_trace_header", None)
+        if trace_header:
+            headers[TRACE_HEADER] = trace_header
         request = urllib.request.Request(
             f"{worker.url}/v1/worker/run",
             data=json.dumps(body).encode(),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
             document = json.load(resp)
@@ -547,6 +558,10 @@ class HttpWorkerBackend(ExecutionBackend):
                 keys=[cell.key for cell in cells],
                 why=why,
             )
+            METRICS.counter_inc(
+                "repro_fleet_requeues_total",
+                "Dispatch failures that requeued cells",
+            )
             worker.consecutive_failures += 1
             if worker.consecutive_failures >= self.blacklist_after:
                 self._mark_worker_dead(worker, generation)
@@ -559,6 +574,10 @@ class HttpWorkerBackend(ExecutionBackend):
                     # the worker.
                     continue
                 cell.attempts += 1
+                METRICS.counter_inc(
+                    "repro_fleet_cell_retries_total",
+                    "Cell attempts burned by dispatch failures",
+                )
                 if cell.attempts >= self.max_attempts:
                     self._fatal = ClusterError(
                         f"cell {cell.key} failed after {cell.attempts} "
@@ -601,6 +620,15 @@ class HttpWorkerBackend(ExecutionBackend):
                     "worker_dead",
                     worker=worker.url,
                     rescued=sorted(worker.in_flight),
+                )
+                METRICS.counter_inc(
+                    "repro_fleet_workers_blacklisted_total",
+                    "Workers marked dead/blacklisted by the coordinator",
+                )
+                LOG.warning(
+                    "fleet.worker_dead",
+                    worker=worker.url,
+                    rescued=len(worker.in_flight),
                 )
             worker.alive = False
             for key, cell in list(worker.in_flight.items()):

@@ -40,6 +40,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 class Observer:
     """Base observer: every hook is optional."""
 
+    #: Transient observers carry no run state worth checkpointing and
+    #: are excluded from :meth:`SteppingEngine.checkpoint` entirely —
+    #: attaching one (e.g. the tracing observer) never changes
+    #: checkpoint shape or restore compatibility.
+    transient = False
+
     def on_window(self, engine: "SteppingEngine") -> None:
         """Called after each completed window (clock already advanced)."""
 
@@ -191,9 +197,14 @@ class CheckpointObserver(Observer):
 
     def on_window(self, engine: "SteppingEngine") -> None:
         if engine.windows % self.every_windows == 0:
-            self.checkpoint.write(
-                engine.checkpoint(), serializer=self._serializer
-            )
+            # Lazy import: repro.obs.trace subclasses this module's
+            # Observer, so a top-level import would be circular.
+            from repro.obs.trace import TRACER
+
+            with TRACER.span("checkpoint", window=engine.windows):
+                self.checkpoint.write(
+                    engine.checkpoint(), serializer=self._serializer
+                )
 
     def on_finish(self, engine: "SteppingEngine") -> None:
         # A finished run needs no resume point; leaving one behind

@@ -76,6 +76,29 @@ class ProgressBroker:
                 return {} if snap is None else {label: dict(snap)}
             return {key: dict(snap) for key, snap in self._runs.items()}
 
+    def forget(self, label: str) -> bool:
+        """Drop one run's snapshot; True when something was removed.
+
+        Callers that know a run is over (a completed campaign cell, a
+        finished or cancelled job) prune eagerly instead of waiting for
+        the bounded-finished eviction, so a long-lived ``serve --jobs``
+        process keeps ``/v1/progress`` scoped to live work.
+        """
+        with self._lock:
+            return self._runs.pop(label, None) is not None
+
+    def forget_prefix(self, prefix: str) -> int:
+        """Drop every run whose label starts with ``prefix``.
+
+        Jobs label cells ``<job_id>/<cache_key>``, so one call prunes a
+        whole job on completion/cancel.  Returns how many were removed.
+        """
+        with self._lock:
+            doomed = [key for key in self._runs if key.startswith(prefix)]
+            for key in doomed:
+                del self._runs[key]
+            return len(doomed)
+
     def clear(self) -> None:
         """Forget every run (tests)."""
         with self._lock:

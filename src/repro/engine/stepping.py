@@ -44,6 +44,7 @@ Within one window the division of labor is:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Protocol
 
@@ -141,6 +142,14 @@ class SteppingEngine:
         self.strategy = strategy
         self.dt_s = strategy.dt_s
         self._observers = list(observers)
+        # When process-wide tracing is on, a transient TracingObserver
+        # rides along and `step_window` takes the phase-timed path.
+        # Imported lazily: repro.obs.trace subclasses Observer.
+        from repro.obs.trace import engine_observer
+
+        self._tracing = engine_observer()
+        if self._tracing is not None:
+            self._observers.append(self._tracing)
         self.windows = 0
         self.now_s = 0.0
         self.traffic_bytes = 0.0
@@ -181,6 +190,9 @@ class SteppingEngine:
 
     def step_window(self) -> None:
         """Advance exactly one DTM window."""
+        if self._tracing is not None:
+            self._step_window_traced()
+            return
         outcome = self.begin_window()
         sample = self.strategy.memspot.step(
             outcome.read_bytes_per_s,
@@ -189,6 +201,27 @@ class SteppingEngine:
             self.dt_s,
         )
         self.apply_window(outcome, sample)
+
+    def _step_window_traced(self) -> None:
+        """`step_window` with per-phase wall timing for the tracer.
+
+        Identical arithmetic to the fast path — only `perf_counter`
+        reads are added around the three phases, and the observer
+        decides (under sampling) whether a window span is emitted.
+        """
+        t0 = time.perf_counter()
+        outcome = self.begin_window()
+        t1 = time.perf_counter()
+        sample = self.strategy.memspot.step(
+            outcome.read_bytes_per_s,
+            outcome.write_bytes_per_s,
+            outcome.heating_sum,
+            self.dt_s,
+        )
+        t2 = time.perf_counter()
+        self.apply_window(outcome, sample)
+        t3 = time.perf_counter()
+        self._tracing.record_phases(self, t1 - t0, t2 - t1, t3 - t2)
 
     def begin_window(self) -> WindowOutcome:
         """The pre-thermal half of one window: guard + strategy.
@@ -271,7 +304,11 @@ class SteppingEngine:
             accumulators={name: getattr(self, name) for name in _ACCUMULATORS},
             thermal=self.strategy.memspot.thermal_state(),
             strategy_state=self.strategy.state_dict(),
-            observers=[obs.state_dict() for obs in self._observers],
+            observers=[
+                obs.state_dict()
+                for obs in self._observers
+                if not getattr(obs, "transient", False)
+            ],
         )
 
     def restore(self, state: EngineState) -> None:
@@ -288,10 +325,15 @@ class SteppingEngine:
                 f"checkpoint belongs to strategy {state.strategy!r}, "
                 f"this engine runs {self.strategy.kind!r}"
             )
-        if len(state.observers) != len(self._observers):
+        durable = [
+            obs
+            for obs in self._observers
+            if not getattr(obs, "transient", False)
+        ]
+        if len(state.observers) != len(durable):
             raise CheckpointError(
                 f"checkpoint carries {len(state.observers)} observer "
-                f"states, this engine has {len(self._observers)} observers "
+                f"states, this engine has {len(durable)} observers "
                 f"attached — rebuild the engine with the same observers"
             )
         missing = [
@@ -307,7 +349,7 @@ class SteppingEngine:
             setattr(self, name, float(state.accumulators[name]))
         self.strategy.memspot.load_thermal_state(state.thermal)
         self.strategy.load_state_dict(state.strategy_state)
-        for observer, observer_state in zip(self._observers, state.observers):
+        for observer, observer_state in zip(durable, state.observers):
             observer.load_state_dict(observer_state)
         # At a window boundary the live sample's temperatures equal the
         # chain maxima, which is exactly what ``sample()`` reports; the

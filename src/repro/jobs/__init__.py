@@ -23,8 +23,8 @@ fully usable in-process:
 """
 
 from repro.jobs.client import JobsApiError, JobsClient, wait_for_port_file
-from repro.jobs.metrics import MetricsRegistry
 from repro.jobs.queue import JobQueue
+from repro.obs.metrics import MetricsRegistry
 from repro.jobs.scheduler import (
     JobScheduler,
     JobsManager,

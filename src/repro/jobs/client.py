@@ -17,6 +17,7 @@ import urllib.request
 from typing import Any
 
 from repro.errors import ReproError
+from repro.obs.trace import TRACE_HEADER, TRACER
 
 
 class JobsApiError(ReproError):
@@ -48,11 +49,15 @@ class JobsClient:
         self, method: str, path: str, body: dict | None = None
     ) -> dict:
         data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if data else {}
+        trace_header = TRACER.propagation_header()
+        if trace_header:
+            headers[TRACE_HEADER] = trace_header
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:

@@ -1,256 +1,29 @@
-"""A dependency-free metrics registry with bounded label cardinality.
+"""Deprecated alias of :mod:`repro.obs.metrics`.
 
-Counters, gauges, and fixed-bucket histograms, rendered two ways from
-one source of truth: Prometheus-style text exposition (the default
-``GET /metrics`` body) and a JSON document (``?format=json``) for
-consumers without a scraper.
-
-Label cardinality is bounded *per metric*: once a metric has
-``max_series`` distinct label sets, further label combinations collapse
-into a single ``"_other"`` series instead of allocating new ones.  An
-unbounded tenant-id stream therefore costs O(1) memory and keeps the
-scrape payload flat — the standing advice from every production
-monitoring postmortem, enforced in the registry rather than left to
-caller discipline.
+The metrics registry grew up here alongside the jobs service (PR 8);
+it is now the process-wide observability registry and lives in
+:mod:`repro.obs.metrics`, next to tracing and SLO evaluation.
+Importing this module keeps old code working unchanged but emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Iterator
+import warnings
 
-#: Seconds buckets sized for this workload: warm cells are sub-ms, a
-#: cold cell is ~0.3-0.5 s, multi-cell jobs run seconds to minutes.
-DEFAULT_BUCKETS = (
-    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_BUCKETS,
+    DEFAULT_MAX_SERIES,
+    METRICS,
+    OVERFLOW_LABEL,
+    Metric,
+    MetricsRegistry,
 )
 
-#: Collapsed-series label value once a metric's cardinality bound hits.
-OVERFLOW_LABEL = "_other"
-
-#: Default distinct-label-set bound per metric.
-DEFAULT_MAX_SERIES = 64
-
-
-def _format_value(value: float) -> str:
-    """Render ints without a trailing ``.0`` (Prometheus style)."""
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
-    if not labels:
-        return ""
-    rendered = ",".join(f'{name}="{value}"' for name, value in labels)
-    return "{" + rendered + "}"
-
-
-class _Series:
-    """One label-set's state within a metric."""
-
-    __slots__ = ("value", "count", "total", "buckets")
-
-    def __init__(self, bucket_count: int = 0) -> None:
-        self.value = 0.0
-        self.count = 0
-        self.total = 0.0
-        self.buckets = [0] * bucket_count
-
-
-class Metric:
-    """One named counter/gauge/histogram family."""
-
-    def __init__(
-        self,
-        name: str,
-        kind: str,
-        help_text: str,
-        label_names: tuple[str, ...],
-        *,
-        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-        max_series: int = DEFAULT_MAX_SERIES,
-    ) -> None:
-        self.name = name
-        self.kind = kind
-        self.help_text = help_text
-        self.label_names = label_names
-        self.buckets = buckets if kind == "histogram" else ()
-        self.max_series = max_series
-        self._series: dict[tuple[str, ...], _Series] = {}
-
-    def _series_for(self, label_values: tuple[str, ...]) -> _Series:
-        series = self._series.get(label_values)
-        if series is None:
-            if len(self._series) >= self.max_series:
-                label_values = (OVERFLOW_LABEL,) * len(self.label_names)
-                series = self._series.get(label_values)
-            if series is None:
-                series = self._series[label_values] = _Series(
-                    len(self.buckets)
-                )
-        return series
-
-    def _resolve(self, labels: dict[str, str]) -> tuple[str, ...]:
-        if set(labels) != set(self.label_names):
-            raise ValueError(
-                f"metric {self.name!r} takes labels "
-                f"{list(self.label_names)}, got {sorted(labels)}"
-            )
-        return tuple(str(labels[name]) for name in self.label_names)
-
-    # Mutators are called under the registry lock.
-
-    def inc(self, labels: dict[str, str], amount: float) -> None:
-        self._series_for(self._resolve(labels)).value += amount
-
-    def set(self, labels: dict[str, str], value: float) -> None:
-        self._series_for(self._resolve(labels)).value = value
-
-    def observe(self, labels: dict[str, str], value: float) -> None:
-        series = self._series_for(self._resolve(labels))
-        series.count += 1
-        series.total += value
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.buckets[index] += 1
-
-    # Renderers.
-
-    def render_text(self) -> Iterator[str]:
-        yield f"# HELP {self.name} {self.help_text}"
-        yield f"# TYPE {self.name} {self.kind}"
-        for label_values in sorted(self._series):
-            series = self._series[label_values]
-            labels = tuple(zip(self.label_names, label_values))
-            if self.kind == "histogram":
-                cumulative = 0
-                for bound, bucket in zip(self.buckets, series.buckets):
-                    cumulative += bucket
-                    bucket_labels = labels + (("le", _format_value(bound)),)
-                    yield (
-                        f"{self.name}_bucket{_format_labels(bucket_labels)} "
-                        f"{cumulative}"
-                    )
-                inf_labels = labels + (("le", "+Inf"),)
-                yield f"{self.name}_bucket{_format_labels(inf_labels)} {series.count}"
-                yield f"{self.name}_sum{_format_labels(labels)} {_format_value(round(series.total, 6))}"
-                yield f"{self.name}_count{_format_labels(labels)} {series.count}"
-            else:
-                yield (
-                    f"{self.name}{_format_labels(labels)} "
-                    f"{_format_value(series.value)}"
-                )
-
-    def render_json(self) -> dict:
-        series_docs = []
-        for label_values in sorted(self._series):
-            series = self._series[label_values]
-            doc: dict = {"labels": dict(zip(self.label_names, label_values))}
-            if self.kind == "histogram":
-                doc["count"] = series.count
-                doc["sum"] = round(series.total, 6)
-                doc["buckets"] = {
-                    _format_value(bound): bucket
-                    for bound, bucket in zip(self.buckets, series.buckets)
-                }
-            else:
-                doc["value"] = series.value
-            series_docs.append(doc)
-        return {
-            "name": self.name,
-            "type": self.kind,
-            "help": self.help_text,
-            "series": series_docs,
-        }
-
-
-class MetricsRegistry:
-    """Thread-safe collection of metrics with one render path."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._metrics: dict[str, Metric] = {}
-
-    def _register(
-        self,
-        name: str,
-        kind: str,
-        help_text: str,
-        label_names: tuple[str, ...],
-        **kwargs,
-    ) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = Metric(
-                name, kind, help_text, label_names, **kwargs
-            )
-        elif metric.kind != kind or metric.label_names != label_names:
-            raise ValueError(
-                f"metric {name!r} re-registered with a different "
-                f"kind/label set"
-            )
-        return metric
-
-    def counter_inc(
-        self, name: str, help_text: str, amount: float = 1.0, **labels: str
-    ) -> None:
-        """Increment a counter (registered on first use)."""
-        with self._lock:
-            metric = self._register(
-                name, "counter", help_text, tuple(sorted(labels))
-            )
-            metric.inc(labels, amount)
-
-    def gauge_set(
-        self, name: str, help_text: str, value: float, **labels: str
-    ) -> None:
-        """Set a gauge to an absolute value."""
-        with self._lock:
-            metric = self._register(
-                name, "gauge", help_text, tuple(sorted(labels))
-            )
-            metric.set(labels, value)
-
-    def observe(
-        self,
-        name: str,
-        help_text: str,
-        value: float,
-        *,
-        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-        **labels: str,
-    ) -> None:
-        """Record one histogram observation."""
-        with self._lock:
-            metric = self._register(
-                name, "histogram", help_text, tuple(sorted(labels)),
-                buckets=buckets,
-            )
-            metric.observe(labels, value)
-
-    def counter_value(self, name: str, **labels: str) -> float:
-        """Current value of one counter series (0 when absent)."""
-        with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                return 0.0
-            key = tuple(str(labels[n]) for n in metric.label_names)
-            series = metric._series.get(key)
-            return 0.0 if series is None else series.value
-
-    def render_text(self) -> str:
-        """The Prometheus-style exposition body."""
-        with self._lock:
-            lines: list[str] = []
-            for name in sorted(self._metrics):
-                lines.extend(self._metrics[name].render_text())
-        return "\n".join(lines) + "\n"
-
-    def render_json(self) -> list[dict]:
-        """Every metric as a JSON-ready document."""
-        with self._lock:
-            return [
-                self._metrics[name].render_json()
-                for name in sorted(self._metrics)
-            ]
+warnings.warn(
+    "repro.jobs.metrics is deprecated: the registry moved to "
+    "repro.obs.metrics (the process-wide METRICS instance lives there "
+    "too)",
+    DeprecationWarning,
+    stacklevel=2,
+)

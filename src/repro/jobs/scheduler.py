@@ -56,8 +56,10 @@ from repro.campaign import (
 from repro.engine import EngineState
 from repro.engine.progress import PROGRESS
 from repro.errors import ConfigurationError, ReproError
-from repro.jobs.metrics import MetricsRegistry
 from repro.jobs.queue import JobQueue
+from repro.obs.log import LOG
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.jobs.store import (
     CANCELLED,
     COMPLETED,
@@ -130,7 +132,7 @@ class JobScheduler:
         self._store = store
         self.backend = backend
         self.window_slice = window_slice
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else METRICS
         self._poll_s = poll_s
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -190,7 +192,7 @@ class JobScheduler:
             with self._current_lock:
                 self._current = record
             try:
-                self._execute(record)
+                self._execute_traced(record)
             except ReproError as error:
                 self._fail(record, str(error))
             except Exception as error:  # noqa: BLE001 — keep the loop alive
@@ -250,6 +252,7 @@ class JobScheduler:
         record.add_event("failed", message)
         self.queue.persist(record)
         self._observe_finished(record)
+        LOG.error("job.failed", job=record.job_id, error=message)
 
     def _observe_finished(self, record: JobRecord) -> None:
         self.metrics.counter_inc(
@@ -272,8 +275,23 @@ class JobScheduler:
                 max(0.0, record.started_s - record.created_s),
                 tenant=record.tenant,
             )
+        # Eager /v1/progress hygiene: a terminal job's per-cell streams
+        # will never update again, so a long-lived service drops them
+        # now instead of leaning on the bounded-finished eviction.
+        PROGRESS.forget_prefix(f"{record.job_id}/")
 
     # -- job execution ------------------------------------------------------
+
+    def _execute_traced(self, record: JobRecord) -> None:
+        """Run one job under the trace context captured at submit."""
+        parsed = TRACER.parse_header(getattr(record, "trace", None))
+        if parsed is None:
+            with TRACER.span("job", job=record.job_id, tenant=record.tenant):
+                self._execute(record)
+            return
+        with TRACER.activate(*parsed):
+            with TRACER.span("job", job=record.job_id, tenant=record.tenant):
+                self._execute(record)
 
     def _execute(self, record: JobRecord) -> None:
         request = request_from_dict(record.request)
@@ -318,6 +336,12 @@ class JobScheduler:
         record.add_event("completed")
         self.queue.persist(record)
         self._observe_finished(record)
+        LOG.info(
+            "job.completed",
+            job=record.job_id,
+            tenant=record.tenant,
+            cells=record.cells_done,
+        )
 
     def _interruption(self, record: JobRecord) -> str | None:
         """Which interruption applies at this boundary, if any."""
@@ -361,6 +385,16 @@ class JobScheduler:
             "repro_job_cells_total",
             "Cells served to jobs by cache state",
             cache="hit" if hit else "miss",
+        )
+        # The cell's progress stream is complete; prune it eagerly.
+        PROGRESS.forget(job_progress_label(record.job_id, spec.key()))
+        LOG.info(
+            "job.cell_finished",
+            job=record.job_id,
+            cell=spec.key(),
+            cache="hit" if hit else "miss",
+            done=record.cells_done,
+            total=record.cells_total,
         )
 
     def _run_cells_sliced(
@@ -461,7 +495,7 @@ class JobsManager:
         quotas: QuotaManager | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else METRICS
         self.queue = JobQueue(jobs_dir)
         self.quotas = quotas if quotas is not None else QuotaManager()
         self.scheduler = JobScheduler(
@@ -524,11 +558,22 @@ class JobsManager:
             tenant, request_to_dict(request), priority=priority
         )
         record.cells_total = len(specs)
+        # Capture the submitter's trace context so the scheduler thread
+        # (and any backend workers it dispatches to) joins the same
+        # trace when the job eventually runs.
+        record.trace = TRACER.propagation_header()
         self.queue.persist(record)
         self.metrics.counter_inc(
             "repro_jobs_submitted_total",
             "Jobs accepted per tenant",
             tenant=tenant,
+        )
+        LOG.info(
+            "job.submitted",
+            job=record.job_id,
+            tenant=tenant,
+            priority=priority,
+            cells=record.cells_total,
         )
         return self.job_document(record)
 
@@ -604,6 +649,11 @@ class JobsManager:
             "Cancel requests accepted",
             tenant=record.tenant,
         )
+        if record.terminal:
+            # A queued job cancels immediately (no scheduler pass will
+            # ever observe it) — prune its progress streams here.
+            PROGRESS.forget_prefix(f"{job_id}/")
+        LOG.info("job.cancel_requested", job=job_id, status=record.status)
         return self.job_document(record)
 
     def list_document(self, tenant: str | None = None) -> dict:

@@ -88,6 +88,10 @@ class JobRecord:
     #: Cooperative-cancel flag checked at window-slice boundaries.
     cancel_requested: bool = False
     error: str | None = None
+    #: The submitter's trace context (``trace_id:span_id`` header
+    #: value), so the scheduler joins the submit's trace when the job
+    #: runs — possibly after a process restart.
+    trace: str | None = None
     events: list[dict] = field(default_factory=list)
 
     def add_event(self, event: str, detail: str = "") -> None:
@@ -122,6 +126,7 @@ class JobRecord:
             "preemptions": self.preemptions,
             "cancel_requested": self.cancel_requested,
             "error": self.error,
+            "trace": self.trace,
             "events": list(self.events),
         }
 

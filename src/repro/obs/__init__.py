@@ -1,0 +1,62 @@
+"""`repro.obs` — the observability spine: tracing, metrics, SLOs, logs.
+
+One package answers "what is this process doing and is it healthy":
+
+- :mod:`repro.obs.trace` — spans with ``X-Repro-Trace`` propagation,
+  a bounded ring, JSONL sink, and Chrome trace-event export;
+- :mod:`repro.obs.metrics` — the process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` (:data:`METRICS`)
+  behind every ``/metrics`` scrape;
+- :mod:`repro.obs.slo` — declarative objectives evaluated from those
+  metrics, served at ``/v1/slo`` and gated by ``repro slo check``;
+- :mod:`repro.obs.log` — one-line JSON logs correlated by trace id.
+"""
+
+from repro.obs.log import LOG, StructuredLog
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SloResult,
+    SloSpec,
+    evaluate,
+    render_alert_rules,
+    slo_document,
+    with_overrides,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    TRACER,
+    Span,
+    Tracer,
+    TracingObserver,
+    chrome_trace,
+    read_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SLOS",
+    "LOG",
+    "METRICS",
+    "OVERFLOW_LABEL",
+    "MetricsRegistry",
+    "Span",
+    "SloResult",
+    "SloSpec",
+    "StructuredLog",
+    "TRACER",
+    "TRACE_HEADER",
+    "Tracer",
+    "TracingObserver",
+    "chrome_trace",
+    "evaluate",
+    "read_jsonl",
+    "render_alert_rules",
+    "slo_document",
+    "with_overrides",
+]

@@ -1,0 +1,365 @@
+"""A dependency-free metrics registry with bounded label cardinality.
+
+Counters, gauges, and fixed-bucket histograms, rendered two ways from
+one source of truth: Prometheus-style text exposition (the default
+``GET /metrics`` body) and a JSON document (``?format=json``) for
+consumers without a scraper.
+
+Label cardinality is bounded *per metric*: once a metric has
+``max_series`` distinct label sets, further label combinations collapse
+into a single ``"_other"`` series instead of allocating new ones.  An
+unbounded tenant-id stream therefore costs O(1) memory and keeps the
+scrape payload flat — the standing advice from every production
+monitoring postmortem, enforced in the registry rather than left to
+caller discipline.
+
+This module is the process-wide home of the registry (it grew up in
+``repro.jobs.metrics``, which remains as a deprecated alias): the
+:data:`METRICS` singleton collects engine cell timings, store
+hit/miss/single-flight counts, cluster dispatch events, HTTP route
+latencies, and the jobs-service series, so one ``/metrics`` scrape
+describes the whole process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+#: Seconds buckets sized for this workload: warm cells are sub-ms, a
+#: cold cell is ~0.3-0.5 s, multi-cell jobs run seconds to minutes.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0
+)
+
+#: Collapsed-series label value once a metric's cardinality bound hits.
+OVERFLOW_LABEL = "_other"
+
+#: Default distinct-label-set bound per metric.
+DEFAULT_MAX_SERIES = 64
+
+
+def _format_value(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus style)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + rendered + "}"
+
+
+class _Series:
+    """One label-set's state within a metric."""
+
+    __slots__ = ("value", "count", "total", "buckets")
+
+    def __init__(self, bucket_count: int = 0) -> None:
+        self.value = 0.0
+        self.count = 0
+        self.total = 0.0
+        self.buckets = [0] * bucket_count
+
+
+class Metric:
+    """One named counter/gauge/histogram family."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.label_names = label_names
+        self.buckets = buckets if kind == "histogram" else ()
+        self.max_series = max_series
+        self._series: dict[tuple[str, ...], _Series] = {}
+
+    def _series_for(self, label_values: tuple[str, ...]) -> _Series:
+        series = self._series.get(label_values)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                label_values = (OVERFLOW_LABEL,) * len(self.label_names)
+                series = self._series.get(label_values)
+            if series is None:
+                series = self._series[label_values] = _Series(
+                    len(self.buckets)
+                )
+        return series
+
+    def _resolve(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.label_names)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    # Mutators are called under the registry lock.
+
+    def inc(self, labels: dict[str, str], amount: float) -> None:
+        self._series_for(self._resolve(labels)).value += amount
+
+    def set(self, labels: dict[str, str], value: float) -> None:
+        self._series_for(self._resolve(labels)).value = value
+
+    def observe(self, labels: dict[str, str], value: float) -> None:
+        series = self._series_for(self._resolve(labels))
+        series.count += 1
+        series.total += value
+        # Storage is per-bucket (non-cumulative); render_text cumulates.
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.buckets[index] += 1
+                break
+
+    # Renderers.
+
+    def render_text(self) -> Iterator[str]:
+        yield f"# HELP {self.name} {self.help_text}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for label_values in sorted(self._series):
+            series = self._series[label_values]
+            labels = tuple(zip(self.label_names, label_values))
+            if self.kind == "histogram":
+                cumulative = 0
+                for bound, bucket in zip(self.buckets, series.buckets):
+                    cumulative += bucket
+                    bucket_labels = labels + (("le", _format_value(bound)),)
+                    yield (
+                        f"{self.name}_bucket{_format_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                inf_labels = labels + (("le", "+Inf"),)
+                yield f"{self.name}_bucket{_format_labels(inf_labels)} {series.count}"
+                yield f"{self.name}_sum{_format_labels(labels)} {_format_value(round(series.total, 6))}"
+                yield f"{self.name}_count{_format_labels(labels)} {series.count}"
+            else:
+                yield (
+                    f"{self.name}{_format_labels(labels)} "
+                    f"{_format_value(series.value)}"
+                )
+
+    def render_json(self) -> dict:
+        series_docs = []
+        for label_values in sorted(self._series):
+            series = self._series[label_values]
+            doc: dict = {"labels": dict(zip(self.label_names, label_values))}
+            if self.kind == "histogram":
+                doc["count"] = series.count
+                doc["sum"] = round(series.total, 6)
+                doc["buckets"] = {
+                    _format_value(bound): bucket
+                    for bound, bucket in zip(self.buckets, series.buckets)
+                }
+            else:
+                doc["value"] = series.value
+            series_docs.append(doc)
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help_text,
+            "series": series_docs,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metrics with one render path."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        **kwargs,
+    ) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Metric(
+                name, kind, help_text, label_names, **kwargs
+            )
+        elif metric.kind != kind or metric.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} re-registered with a different "
+                f"kind/label set"
+            )
+        return metric
+
+    def counter_inc(
+        self, name: str, help_text: str, amount: float = 1.0, **labels: str
+    ) -> None:
+        """Increment a counter (registered on first use)."""
+        with self._lock:
+            metric = self._register(
+                name, "counter", help_text, tuple(sorted(labels))
+            )
+            metric.inc(labels, amount)
+
+    def gauge_set(
+        self, name: str, help_text: str, value: float, **labels: str
+    ) -> None:
+        """Set a gauge to an absolute value."""
+        with self._lock:
+            metric = self._register(
+                name, "gauge", help_text, tuple(sorted(labels))
+            )
+            metric.set(labels, value)
+
+    def observe(
+        self,
+        name: str,
+        help_text: str,
+        value: float,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> None:
+        """Record one histogram observation."""
+        with self._lock:
+            metric = self._register(
+                name, "histogram", help_text, tuple(sorted(labels)),
+                buckets=buckets,
+            )
+            metric.observe(labels, value)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of one counter series (0 when absent)."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                return 0.0
+            key = tuple(str(labels[n]) for n in metric.label_names)
+            series = metric._series.get(key)
+            return 0.0 if series is None else series.value
+
+    # -- aggregate readers (the SLO evaluator's query surface) -------------
+
+    def counter_total(self, name: str, **label_filter: str) -> float:
+        """Sum of every counter series matching a label *subset*.
+
+        ``counter_total("repro_jobs_finished_total", status="failed")``
+        sums across tenants; with no filter it sums the whole family.
+        Returns 0.0 for unknown metrics.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                return 0.0
+            wanted = {
+                name_: str(value) for name_, value in label_filter.items()
+            }
+            total = 0.0
+            for label_values, series in metric._series.items():
+                labels = dict(zip(metric.label_names, label_values))
+                if all(labels.get(k) == v for k, v in wanted.items()):
+                    total += series.value
+            return total
+
+    def histogram_stats(
+        self, name: str, **label_filter: str
+    ) -> tuple[int, float, list[int]]:
+        """``(count, sum, per-bucket counts)`` aggregated over matching
+        series of one histogram.  Bucket counts are non-cumulative and
+        align with the metric's bucket bounds; ``(0, 0.0, [])`` when the
+        metric is unknown.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None or metric.kind != "histogram":
+                return 0, 0.0, []
+            wanted = {
+                name_: str(value) for name_, value in label_filter.items()
+            }
+            count, total = 0, 0.0
+            buckets = [0] * len(metric.buckets)
+            for label_values, series in metric._series.items():
+                labels = dict(zip(metric.label_names, label_values))
+                if not all(labels.get(k) == v for k, v in wanted.items()):
+                    continue
+                count += series.count
+                total += series.total
+                for index, bucket in enumerate(series.buckets):
+                    buckets[index] += bucket
+            return count, total, buckets
+
+    def histogram_quantile(
+        self, name: str, quantile: float, **label_filter: str
+    ) -> float | None:
+        """Estimate a quantile from one histogram's buckets.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``quantile * count`` — a conservative (never
+        under-reporting) estimate.  When the target rank lies beyond
+        the last finite bucket the estimate is ``inf`` (the Prometheus
+        convention), so an out-of-range tail can still breach an SLO
+        whose threshold equals the largest bound.  ``None`` when the
+        histogram has no observations.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        with self._lock:
+            metric = self._metrics.get(name)
+        if metric is None:
+            return None
+        count, _, buckets = self.histogram_stats(name, **label_filter)
+        if count == 0:
+            return None
+        target = quantile * count
+        cumulative = 0
+        for bound, bucket in zip(metric.buckets, buckets):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound
+        return float("inf")
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation for the shared registry)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def render_text(self) -> str:
+        """The Prometheus-style exposition body."""
+        with self._lock:
+            lines: list[str] = []
+            for name in sorted(self._metrics):
+                lines.extend(self._metrics[name].render_text())
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> list[dict]:
+        """Every metric as a JSON-ready document."""
+        with self._lock:
+            return [
+                self._metrics[name].render_json()
+                for name in sorted(self._metrics)
+            ]
+
+
+#: The process-wide registry: every subsystem that does not receive an
+#: explicit registry emits here, so ``GET /metrics`` on any service in
+#: this process describes engine, stores, cluster, and jobs at once.
+METRICS = MetricsRegistry()

@@ -58,7 +58,7 @@ from repro.jobs import (
     job_progress_label,
     wait_for_port_file,
 )
-from repro.jobs.metrics import OVERFLOW_LABEL
+from repro.obs.metrics import OVERFLOW_LABEL
 
 #: The workhorse request: one cold ch4 cell, ~0.3 s of compute —
 #: thousands of windows, so small window slices yield many preemption

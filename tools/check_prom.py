@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Strict Prometheus text-exposition checker for the repro /metrics route.
+
+Validates the invariants real scrapers rely on but our hand-rolled
+renderer could silently break:
+
+- every sample family is preceded by its ``# HELP`` then ``# TYPE``
+  comment, in that order, exactly once;
+- families are contiguous (a family's samples never interleave with
+  another family's) and each family name appears once;
+- metric and label names match the Prometheus grammar; label values
+  escape ``\\``, ``"`` and newlines;
+- histogram families expose ``_bucket``/``_sum``/``_count`` samples
+  (and nothing else), every bucket series ends in ``le="+Inf"``,
+  cumulative bucket counts are monotonically non-decreasing, and the
+  ``+Inf`` bucket equals the series' ``_count``;
+- counter/gauge sample names equal the family name exactly;
+- sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed).
+
+Usage::
+
+    python tools/check_prom.py http://127.0.0.1:8765/metrics
+    python tools/check_prom.py path/to/exposition.txt
+    ... | python tools/check_prom.py -
+
+Exit status 0 when clean; 1 with one ``line N: ...`` diagnostic per
+violation on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import urllib.request
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: A sample line: name, optional {labels}, value (timestamp rejected —
+#: the repro exporter never emits one).
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, kind: str) -> str:
+    if kind == "histogram":
+        for suffix in HISTOGRAM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _parse_value(raw: str) -> float | None:
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _check_label_escaping(raw_labels: str, lineno: int, errors: list[str]) -> dict:
+    labels: dict[str, str] = {}
+    consumed = 0
+    for match in LABEL_PAIR.finditer(raw_labels):
+        # Everything between pairs must be separating commas/space.
+        gap = raw_labels[consumed:match.start()]
+        if gap.strip(", ") != "":
+            errors.append(
+                f"line {lineno}: malformed label text {gap!r}"
+            )
+        consumed = match.end()
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            errors.append(f"line {lineno}: duplicate label {name!r}")
+        # Only \\, \" and \n escapes are legal in label values; walk
+        # pairwise so the second byte of a legal \\ never re-matches.
+        index = 0
+        while index < len(value):
+            if value[index] == "\\":
+                escape = value[index + 1:index + 2]
+                if escape not in ('\\', '"', "n"):
+                    bad = "\\" + escape
+                    errors.append(
+                        f"line {lineno}: illegal escape {bad!r} "
+                        f"in label {name!r}"
+                    )
+                index += 2
+            else:
+                index += 1
+        labels[name] = value
+    tail = raw_labels[consumed:]
+    if tail.strip(", ") != "":
+        errors.append(f"line {lineno}: malformed label text {tail!r}")
+    return labels
+
+
+class _Family:
+    def __init__(self) -> None:
+        self.help_line: int | None = None
+        self.type_line: int | None = None
+        self.kind: str | None = None
+        self.closed = False
+        self.samples: list[tuple[int, str, dict, float]] = []
+
+
+def check_text(text: str) -> list[str]:
+    """Every violation in ``text`` as a ``line N: ...`` string."""
+    errors: list[str] = []
+    families: dict[str, _Family] = {}
+    current: str | None = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            directive, name = parts[1], parts[2]
+            family = families.setdefault(name, _Family())
+            if family.closed:
+                errors.append(
+                    f"line {lineno}: family {name!r} reopened — families "
+                    "must be contiguous"
+                )
+            if directive == "HELP":
+                if family.help_line is not None:
+                    errors.append(f"line {lineno}: duplicate HELP for {name!r}")
+                if family.type_line is not None or family.samples:
+                    errors.append(
+                        f"line {lineno}: HELP for {name!r} must precede "
+                        "its TYPE and samples"
+                    )
+                family.help_line = lineno
+            else:
+                if family.type_line is not None:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name!r}")
+                if family.samples:
+                    errors.append(
+                        f"line {lineno}: TYPE for {name!r} after its samples"
+                    )
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append(
+                        f"line {lineno}: unknown TYPE {kind!r} for {name!r}"
+                    )
+                family.type_line = lineno
+                family.kind = kind
+            if current is not None and current != name:
+                families[current].closed = True
+            current = name
+            continue
+
+        match = SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        sample_name, _, raw_labels, raw_value = match.groups()
+        if not METRIC_NAME.match(sample_name):
+            errors.append(f"line {lineno}: bad metric name {sample_name!r}")
+        value = _parse_value(raw_value)
+        if value is None:
+            errors.append(f"line {lineno}: bad sample value {raw_value!r}")
+            continue
+        labels = _check_label_escaping(raw_labels or "", lineno, errors)
+        for label in labels:
+            if not LABEL_NAME.match(label):
+                errors.append(f"line {lineno}: bad label name {label!r}")
+
+        owner = None
+        if current is not None:
+            kind = families[current].kind or "untyped"
+            if _family_of(sample_name, kind) == current:
+                owner = current
+        if owner is None:
+            errors.append(
+                f"line {lineno}: sample {sample_name!r} outside its "
+                "family's HELP/TYPE block"
+            )
+            continue
+        family = families[owner]
+        if family.help_line is None or family.type_line is None:
+            errors.append(
+                f"line {lineno}: sample for {owner!r} before full "
+                "HELP+TYPE header"
+            )
+        if family.kind in ("counter", "gauge") and sample_name != owner:
+            errors.append(
+                f"line {lineno}: {family.kind} sample name "
+                f"{sample_name!r} != family {owner!r}"
+            )
+        family.samples.append((lineno, sample_name, labels, value))
+
+    for name, family in families.items():
+        if not family.samples:
+            errors.append(
+                f"line {family.help_line or family.type_line}: family "
+                f"{name!r} declares HELP/TYPE but exposes no samples"
+            )
+        if family.kind == "histogram":
+            errors.extend(_check_histogram(name, family))
+    return errors
+
+
+def _series_key(labels: dict, drop: tuple[str, ...] = ("le",)) -> tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k not in drop))
+
+
+def _check_histogram(name: str, family: _Family) -> list[str]:
+    errors: list[str] = []
+    buckets: dict[tuple, list[tuple[int, str, float]]] = {}
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, tuple[int, float]] = {}
+    for lineno, sample_name, labels, value in family.samples:
+        key = _series_key(labels)
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                errors.append(f"line {lineno}: bucket sample without 'le'")
+                continue
+            buckets.setdefault(key, []).append((lineno, labels["le"], value))
+        elif sample_name == f"{name}_sum":
+            sums[key] = value
+        elif sample_name == f"{name}_count":
+            counts[key] = (lineno, value)
+        else:
+            errors.append(
+                f"line {lineno}: unexpected histogram sample {sample_name!r}"
+            )
+    for key, series in buckets.items():
+        label_text = dict(key) or "{}"
+        if series[-1][1] != "+Inf":
+            errors.append(
+                f"line {series[-1][0]}: histogram {name!r} series "
+                f"{label_text} does not end in le=\"+Inf\""
+            )
+        previous = None
+        for lineno, _, value in series:
+            if previous is not None and value < previous:
+                errors.append(
+                    f"line {lineno}: histogram {name!r} series "
+                    f"{label_text} cumulative buckets decrease"
+                )
+            previous = value
+        if key not in sums:
+            errors.append(f"histogram {name!r} series {label_text} missing _sum")
+        if key not in counts:
+            errors.append(f"histogram {name!r} series {label_text} missing _count")
+        elif series[-1][1] == "+Inf" and counts[key][1] != series[-1][2]:
+            errors.append(
+                f"line {counts[key][0]}: histogram {name!r} series "
+                f"{label_text} _count {counts[key][1]} != +Inf bucket "
+                f"{series[-1][2]}"
+            )
+    for key in set(sums) | set(counts):
+        if key not in buckets:
+            errors.append(
+                f"histogram {name!r} series {dict(key) or '{}'} has "
+                "_sum/_count but no buckets"
+            )
+    return errors
+
+
+def _read_source(source: str) -> str:
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith(("http://", "https://")):
+        with urllib.request.urlopen(source, timeout=30.0) as response:
+            return response.read().decode("utf-8")
+    with open(source, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    text = _read_source(argv[1])
+    errors = check_text(text)
+    for error in errors:
+        print(error, file=sys.stderr)
+    families = sum(1 for line in text.splitlines() if line.startswith("# TYPE"))
+    if errors:
+        print(
+            f"check_prom: {len(errors)} violation(s) across "
+            f"{families} families",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_prom: OK ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

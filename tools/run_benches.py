@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the key benchmarks and emit a machine-readable ``BENCH_PR8.json``.
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR9.json``.
 
-The bench trajectory continues from ``BENCH_PR7.json``: one small,
+The bench trajectory continues from ``BENCH_PR8.json``: one small,
 fast, deterministic-in-shape bundle that CI runs on every push and
 uploads as an artifact, so regressions in the hot paths show up as a
 diffable JSON file instead of anecdotes.  Current probes:
@@ -47,6 +47,11 @@ diffable JSON file instead of anecdotes.  Current probes:
   (the per-job queue overhead — persist, schedule, envelope), and one
   cold 8-cell compare job on the serial sliced scheduler vs the
   vector backend's lockstep gang.
+- ``tracing_overhead`` — the same Fig. 4.3 cell with ``repro.obs``
+  tracing off (the default: one ``is None`` check per window) vs on
+  at the default 1-in-32 window sampling, reps interleaved.  The
+  traced/untraced ratio is asserted under a generous ceiling so span
+  recording can never quietly become a per-window tax.
 
 Usage::
 
@@ -666,6 +671,58 @@ def bench_single_flight_dedup(threads: int = 6) -> dict:
     }
 
 
+#: Traced/untraced wall-clock ceiling for the tracing bench.  The
+#: measured overhead at 1-in-32 window sampling is ~1-2%; 1.15x leaves
+#: room for CI-runner noise while still failing if span recording ever
+#: lands on the per-window hot path unconditionally.
+TRACING_MAX_RATIO = 1.15
+
+
+def bench_tracing_overhead(repeats: int) -> dict:
+    """One Fig. 4.3 cell untraced vs traced (default sampling)."""
+    from repro.obs.trace import DEFAULT_SAMPLE_EVERY, TRACER
+
+    spec = Chapter4Spec(mix="W1", policy="ts", copies=1)
+
+    def cell_once() -> float:
+        engine = engine_for_spec(spec)
+        started = time.perf_counter()
+        engine.run_to_completion()
+        return time.perf_counter() - started
+
+    untraced: list[float] = []
+    traced: list[float] = []
+    for _ in range(repeats):
+        assert not TRACER.enabled, "bench expects tracing off by default"
+        untraced.append(cell_once())
+        TRACER.configure(enabled=True, sample_every=DEFAULT_SAMPLE_EVERY)
+        try:
+            with TRACER.span("bench.cell", policy="ts"):
+                traced.append(cell_once())
+        finally:
+            TRACER.configure(enabled=False)
+            TRACER.clear()
+    best_untraced, best_traced = min(untraced), min(traced)
+    ratio = best_traced / best_untraced
+    assert ratio <= TRACING_MAX_RATIO, (
+        f"traced cell {best_traced:.3f}s is {ratio:.3f}x the untraced "
+        f"{best_untraced:.3f}s (ceiling {TRACING_MAX_RATIO}x) — tracing "
+        f"overhead regressed"
+    )
+    return {
+        "description": (
+            "one W1/ts cell, tracing disabled (default) vs enabled at "
+            f"1-in-{DEFAULT_SAMPLE_EVERY} window sampling, reps "
+            "interleaved"
+        ),
+        "untraced_seconds": round(best_untraced, 4),
+        "traced_seconds": round(best_traced, 4),
+        "traced_over_untraced": round(ratio, 4),
+        "max_ratio": TRACING_MAX_RATIO,
+        "sample_every": DEFAULT_SAMPLE_EVERY,
+    }
+
+
 #: The job-bench cold workload: the full Fig. 4.3 comparison — eight
 #: same-workload cells that the vector backend runs as one lockstep
 #: gang through the grid kernel, while the serial scheduler steps them
@@ -772,7 +829,7 @@ def bench_job_queue_throughput(repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR8.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR9.json"), metavar="PATH"
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -797,6 +854,8 @@ def main(argv: list[str] | None = None) -> int:
     benches["single_flight_dedup"] = bench_single_flight_dedup()
     print("bench: job_queue_throughput ...", flush=True)
     benches["job_queue_throughput"] = bench_job_queue_throughput(args.repeats)
+    print("bench: tracing_overhead ...", flush=True)
+    benches["tracing_overhead"] = bench_tracing_overhead(args.repeats)
     if args.skip_fleet:
         print("bench: campaign_grid_serial ...", flush=True)
         benches["campaign_grid_serial"] = {
@@ -881,6 +940,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{bench['cold_compare_serial_seconds']}s vs vector "
                 f"{bench['cold_compare_vector_seconds']}s "
                 f"({bench['cold_compare_vector_speedup']}x)"
+            )
+            continue
+        if headline is None and "traced_over_untraced" in bench:
+            print(
+                f"  {name}: untraced {bench['untraced_seconds']}s vs "
+                f"traced {bench['traced_seconds']}s "
+                f"({bench['traced_over_untraced']}x)"
             )
             continue
         if headline is None and "stampede_seconds" in bench:
