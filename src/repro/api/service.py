@@ -529,7 +529,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise ConfigurationError(
                 "worker run body needs a non-empty 'cells' list"
             )
-        unknown = set(body) - {"cells", "window_slice", "resume"}
+        unknown = set(body) - {"cells", "window_slice", "resume", "gangs"}
         if unknown:
             raise ConfigurationError(
                 f"unknown worker run fields {sorted(unknown)}"
@@ -546,12 +546,39 @@ class _Handler(BaseHTTPRequestHandler):
             raise ConfigurationError(
                 "worker run 'resume' must map cell keys to engine states"
             )
+        gangs = body.get("gangs") or []
+        if not isinstance(gangs, list) or not all(
+            isinstance(group, list)
+            and len(group) >= 2
+            and all(isinstance(key, str) for key in group)
+            for group in gangs
+        ):
+            raise ConfigurationError(
+                "worker run 'gangs' must be a list of >=2-element "
+                "cell-key lists"
+            )
         if self._reject_over_capacity():
             return
         try:
+            specs = [cell_from_wire(raw) for raw in cells]
+            by_key = {spec.key(): spec for spec in specs}
+            ganged: set[str] = set()
             results = []
-            for raw in cells:
-                spec = cell_from_wire(raw)
+            for group in gangs:
+                if any(key not in by_key for key in group) or ganged & set(group):
+                    raise ConfigurationError(
+                        "worker run 'gangs' entries must be disjoint "
+                        "subsets of the request's cell keys"
+                    )
+                ganged.update(group)
+                results.extend(
+                    self.server.client.run_cell_gang(
+                        [by_key[key] for key in group], window_slice, resume
+                    )
+                )
+            for spec in specs:
+                if spec.key() in ganged:
+                    continue
                 if window_slice is None:
                     payload, hit, seconds = self.server.client.run_cell_payload(spec)
                     results.append({

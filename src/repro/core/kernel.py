@@ -25,7 +25,7 @@ enforce this equivalence.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.memspot import MemSpot, MemSpotSample
 from repro.errors import ConfigurationError, ThermalModelError
@@ -424,10 +424,14 @@ class GridMemSpot:
         #: as their ambient reading (the scalar kernel's ``== 0.0``
         #: branch, as a per-cell select).
         self._isolated = self._interaction == 0.0
-        #: Bypass hop counts are topology-shared ints (see
-        #: BatchedMemSpot._hops): python ints in the per-position loop,
-        #: so ``total * hops[i] / n`` keeps the scalar operation order.
-        self._hops = [self._dimms - 1 - i for i in range(self._dimms)]
+        #: Bypass hop counts are topology-shared small ints (see
+        #: BatchedMemSpot._hops), stored as a float64 row so the 2-D
+        #: bypass expression broadcasts them per position.  The int ->
+        #: float64 conversion is exact, so ``total * hops / n`` performs
+        #: the scalar path's operations bit for bit.
+        self._hops = np.asarray(
+            [float(self._dimms - 1 - i) for i in range(self._dimms)]
+        )
         #: Per-cell RC time constants, kept as python lists: the gains
         #: ``1 - exp(-dt/tau)`` must come from ``math.exp`` per cell
         #: (np.exp is not guaranteed bit-identical to libm).
@@ -545,6 +549,59 @@ class GridMemSpot:
             read_bytes_per_s, write_bytes_per_s, cpu_heating_sum, dt_s
         )
 
+    def step_all_raw(
+        self,
+        read_bytes_per_s: Sequence[float],
+        write_bytes_per_s: Sequence[float],
+        cpu_heating_sums: Sequence[float],
+        dt_s: float,
+    ) -> tuple[Any, Any, Any, Any]:
+        """:meth:`step_all` without the sample objects.
+
+        Returns ``(amb_peak_c, dram_peak_c, ambient_c, memory_power_w)``
+        as four (N,) float64 arrays (NumPy backend) or lists (python
+        backend) — the exact values the per-cell
+        :class:`~repro.core.memspot.MemSpotSample` fields would carry,
+        with no per-cell object construction.  The batched gang apply
+        path consumes these directly for its flat-array accounting.
+        """
+        count = len(self._cells)
+        if (
+            len(read_bytes_per_s) != count
+            or len(write_bytes_per_s) != count
+            or len(cpu_heating_sums) != count
+        ):
+            raise ConfigurationError(
+                f"step_all_raw needs one input per cell ({count}), got "
+                f"{len(read_bytes_per_s)}/{len(write_bytes_per_s)}/"
+                f"{len(cpu_heating_sums)}"
+            )
+        if self._np is None:
+            samples = [
+                cell.step(read_bps, write_bps, heating, dt_s)
+                for cell, read_bps, write_bps, heating in zip(
+                    self._cells,
+                    read_bytes_per_s,
+                    write_bytes_per_s,
+                    cpu_heating_sums,
+                )
+            ]
+            return (
+                [s.amb_c for s in samples],
+                [s.dram_c for s in samples],
+                [s.ambient_c for s in samples],
+                [s.memory_power_w for s in samples],
+            )
+        np = self._np
+        if min(read_bytes_per_s) < 0 or min(write_bytes_per_s) < 0:
+            raise ConfigurationError("channel throughput must be non-negative")
+        return self._step_kernel_raw(
+            np.asarray(read_bytes_per_s, dtype=np.float64),
+            np.asarray(write_bytes_per_s, dtype=np.float64),
+            np.asarray(cpu_heating_sums, dtype=np.float64),
+            dt_s,
+        )
+
     def _step_all_numpy(
         self, reads, writes, heats, dt_s: float
     ) -> list[MemSpotSample]:
@@ -559,6 +616,23 @@ class GridMemSpot:
         )
 
     def _step_kernel(self, reads, writes, heats, dt_s: float):
+        """`_step_kernel_raw` wrapped into per-cell samples."""
+        amb_peak, dram_peak, ambient_c, power = self._step_kernel_raw(
+            reads, writes, heats, dt_s
+        )
+        return [
+            MemSpotSample(
+                amb_c=amb, dram_c=dram, ambient_c=ambient, memory_power_w=watts
+            )
+            for amb, dram, ambient, watts in zip(
+                amb_peak.tolist(),
+                dram_peak.tolist(),
+                ambient_c.tolist(),
+                power.tolist(),
+            )
+        ]
+
+    def _step_kernel_raw(self, reads, writes, heats, dt_s: float):
         """The numpy chain pass; inputs are (N,) arrays or scalars."""
         np = self._np
         if dt_s != self._gain_dt:
@@ -584,41 +658,44 @@ class GridMemSpot:
             + self._alpha2 * ((write_ch / n) / GB)
         )
 
-        # The scalar kernel's flat chain pass, positions outer so every
-        # per-cell expression (and the running power sum) keeps the
-        # scalar operation order; only elementwise IEEE ops inside.
-        count = len(self._cells)
-        amb_peak = np.full(count, -273.15)
-        dram_peak = np.full(count, -273.15)
-        total_power = np.zeros(count)
+        # The whole chain pass on the (cells, dimms) plane at once.
+        # Each scalar per-position expression becomes one elementwise
+        # op over the full plane — the identical IEEE operations in the
+        # identical order, issued once per window instead of once per
+        # position (the per-position issue overhead used to dominate
+        # the grid step at gang widths).  Only max (exact, no rounding)
+        # reduces across positions; the chain power sum stays a
+        # sequential column accumulation because np.sum's pairwise
+        # reduction would round differently from the scalar kernel's
+        # position-by-position additions.
+        ambient_col = ambient_c[:, None]
+        amb_w = (
+            self._idle_w
+            + self._beta[:, None] * ((total[:, None] * self._hops / n) / GB)
+            + self._gamma[:, None] * local_gbps[:, None]
+        )
+        dram_col = dram_w[:, None]
+        stable_amb = (
+            ambient_col
+            + amb_w * self._psi_amb[:, None]
+            + dram_col * self._psi_dram_amb[:, None]
+        )
+        stable_dram = (
+            ambient_col
+            + amb_w * self._psi_amb_dram[:, None]
+            + dram_col * self._psi_dram[:, None]
+        )
+        self._t_amb = self._t_amb + (
+            stable_amb - self._t_amb
+        ) * self._gain_amb[:, None]
+        self._t_dram = self._t_dram + (
+            stable_dram - self._t_dram
+        ) * self._gain_dram[:, None]
+        amb_peak = np.max(self._t_amb, axis=1)
+        dram_peak = np.max(self._t_dram, axis=1)
+        chain_w = amb_w + dram_col
+        total_power = np.zeros(len(self._cells))
         for i in range(n):
-            amb_w = (
-                self._idle_w[:, i]
-                + self._beta * ((total * self._hops[i] / n) / GB)
-                + self._gamma * local_gbps
-            )
-            stable_amb = (
-                ambient_c + amb_w * self._psi_amb + dram_w * self._psi_dram_amb
-            )
-            stable_dram = (
-                ambient_c + amb_w * self._psi_amb_dram + dram_w * self._psi_dram
-            )
-            ta = self._t_amb[:, i] + (stable_amb - self._t_amb[:, i]) * self._gain_amb
-            td = self._t_dram[:, i] + (stable_dram - self._t_dram[:, i]) * self._gain_dram
-            self._t_amb[:, i] = ta
-            self._t_dram[:, i] = td
-            amb_peak = np.maximum(amb_peak, ta)
-            dram_peak = np.maximum(dram_peak, td)
-            total_power = total_power + (amb_w + dram_w)
-        power = (total_power * self._channels).tolist()
-        return [
-            MemSpotSample(
-                amb_c=amb, dram_c=dram, ambient_c=ambient, memory_power_w=watts
-            )
-            for amb, dram, ambient, watts in zip(
-                amb_peak.tolist(),
-                dram_peak.tolist(),
-                ambient_c.tolist(),
-                power,
-            )
-        ]
+            total_power = total_power + chain_w[:, i]
+        power = total_power * self._channels
+        return amb_peak, dram_peak, ambient_c, power

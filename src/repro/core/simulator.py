@@ -179,6 +179,15 @@ class Chapter4Strategy:
         self._since_rotation_s = 0.0
         self._total_intervals = 0
         self._shutdown_intervals = 0
+        # Steady-state cache for the gang's window_fast path.  Valid
+        # only for the plain round-robin scheduler, whose slot
+        # assignment changes exactly when finished_jobs does; subclass
+        # refill rules may reassign without finishing a job.
+        self._window_cache: dict | None = (
+            {} if type(self._scheduler) is BatchScheduler else None
+        )
+        self._cache_epoch = -1
+        self._cache_occupied: list[int] = []
         self.trace_recorder = TraceRecorder(
             resolution_s=cfg.trace_resolution_s, enabled=cfg.record_trace
         )
@@ -214,13 +223,34 @@ class Chapter4Strategy:
             f"{self._scheduler.total_jobs} jobs done)"
         )
 
+    @property
+    def dtm_policy(self) -> DTMPolicy:
+        """The policy instance — the gang's batched-decide entry point."""
+        return self._policy
+
     def window(self, engine: SteppingEngine) -> WindowOutcome:
+        sample = engine.sample
+        reading = ThermalReading(amb_c=sample.amb_c, dram_c=sample.dram_c)
+        decision = self._policy.decide(reading, self.dt_s)
+        return self.window_with_decision(engine, decision)
+
+    def window_with_decision(
+        self, engine: SteppingEngine, decision: Any
+    ) -> WindowOutcome:
+        """One window under an externally-computed policy decision.
+
+        The post-decide half of :meth:`window`, split out so a lockstep
+        gang can batch the policy step
+        (:meth:`~repro.dtm.base.DTMPolicy.decide_all`) across cells and
+        feed each cell its decision — every remaining operation and
+        accumulation below is the exact :meth:`window` sequence, so a
+        gang-driven window is bit-identical to a solo one.  ``decision``
+        must be what ``self.dtm_policy`` produced for this window (with
+        its state already advanced).
+        """
         cfg = self._config
         dt = self.dt_s
         scheduler = self._scheduler
-        sample = engine.sample
-        reading = ThermalReading(amb_c=sample.amb_c, dram_c=sample.dram_c)
-        decision = self._policy.decide(reading, dt)
         self._total_intervals += 1
         if not decision.memory_on or decision.emergency_level >= self._top_level:
             self._shutdown_intervals += 1
@@ -297,6 +327,137 @@ class Chapter4Strategy:
             cpu_power_w=cpu_power,
         )
 
+    def window_fast(self, engine: SteppingEngine, decision: Any) -> WindowOutcome:
+        """:meth:`window_with_decision` through a steady-state cache.
+
+        The lockstep gang's per-cell window driver.  Between job
+        completions the scheduler's slot assignment is frozen, so the
+        whole post-decide computation — slot selection, level-1
+        evaluation, per-slot products, chip power — is a pure function
+        of (decision, rotation offset, burst phase).  This path caches
+        those products per assignment epoch and, on a hit, replays the
+        cached per-slot additions in the original order, so every
+        engine/scheduler mutation applies exactly the bits
+        :meth:`window_with_decision` would have produced (the gang
+        bitwise-equality suite pins the two paths together).  Falls
+        back to the plain path when the scheduler is subclassed.
+        """
+        cache = self._window_cache
+        if cache is None:
+            return self.window_with_decision(engine, decision)
+        cfg = self._config
+        dt = self.dt_s
+        scheduler = self._scheduler
+        self._total_intervals += 1
+        if not decision.memory_on or decision.emergency_level >= self._top_level:
+            self._shutdown_intervals += 1
+        self._since_rotation_s += dt
+        if self._since_rotation_s >= cfg.rotation_interval_s:
+            self._since_rotation_s = 0.0
+            self._rotation += 1
+        epoch = scheduler.finished_jobs
+        if epoch != self._cache_epoch:
+            cache.clear()
+            self._cache_epoch = epoch
+            self._cache_occupied = scheduler.occupied_slots()
+        occupied = self._cache_occupied
+        burst_idle = (
+            self._burst_gated
+            and (self._total_intervals - 1) % self._duty_windows >= self._duty_on
+        )
+        key = (
+            decision,
+            burst_idle,
+            self._rotation % len(occupied) if occupied else 0,
+        )
+        entry = cache.get(key)
+        if entry is None:
+            entry = cache[key] = self._window_entry(
+                decision, burst_idle, occupied
+            )
+        outcome, progress, slot_adds, traffic_delta, l2_delta = entry
+        if progress is not None:
+            for advanced in slot_adds:
+                engine.instructions += advanced
+            scheduler.advance(progress)
+            engine.traffic_bytes += traffic_delta
+            engine.l2_misses += l2_delta
+        return outcome
+
+    def _window_entry(
+        self, decision: Any, burst_idle: bool, occupied: list[int]
+    ) -> tuple:
+        """One :meth:`window_fast` cache entry — the pure products of
+        the post-decide body, mirroring :meth:`window_with_decision`
+        operation for operation."""
+        cfg = self._config
+        dt = self.dt_s
+        scheduler = self._scheduler
+        if decision.dvfs_level >= self._stopped_level:
+            frequency = 0.0
+            voltage = 0.0
+        else:
+            frequency = self._points[decision.dvfs_level].frequency_hz
+            voltage = self._points[decision.dvfs_level].voltage_v
+        active_slots: list[int] = []
+        if (
+            not burst_idle
+            and decision.memory_on
+            and frequency > 0.0
+            and decision.active_cores > 0
+        ):
+            if decision.active_cores >= len(occupied):
+                active_slots = occupied
+            else:
+                offset = self._rotation % len(occupied)
+                rotated = occupied[offset:] + occupied[:offset]
+                active_slots = sorted(rotated[: decision.active_cores])
+        heating_sum = 0.0
+        read_bps = 0.0
+        write_bps = 0.0
+        progress: dict[int, float] | None = None
+        slot_adds: tuple[float, ...] = ()
+        traffic_delta = 0.0
+        l2_delta = 0.0
+        if active_slots:
+            slot_apps = scheduler.running_apps(active_slots)
+            ordered_slots = list(slot_apps)
+            result = self._window.evaluate(
+                [slot_apps[slot] for slot in ordered_slots],
+                frequency_hz=frequency,
+                bandwidth_cap_bytes_per_s=decision.bandwidth_cap_bytes_per_s,
+                memory_on=True,
+            )
+            progress = {}
+            adds = []
+            for slot, slot_result in zip(ordered_slots, result.slots):
+                advanced = (
+                    slot_result.instructions_per_s * dt * self._overhead_factor
+                )
+                progress[slot] = advanced
+                adds.append(advanced)
+                heating_sum += (
+                    voltage * slot_result.instructions_per_s / self._max_frequency
+                )
+            slot_adds = tuple(adds)
+            read_bps = result.read_bytes_per_s
+            write_bps = result.write_bytes_per_s
+            traffic_delta = result.total_bytes_per_s * dt
+            l2_delta = result.l2_misses_per_s * dt
+        cpu_power = simulated_chip_power_w(
+            active_cores=len(active_slots),
+            dvfs_level=min(decision.dvfs_level, self._stopped_level),
+            memory_on=decision.memory_on,
+            table=cfg.cpu_power,
+        )
+        outcome = WindowOutcome(
+            read_bytes_per_s=read_bps,
+            write_bytes_per_s=write_bps,
+            heating_sum=heating_sum,
+            cpu_power_w=cpu_power,
+        )
+        return (outcome, progress, slot_adds, traffic_delta, l2_delta)
+
     def finalize(self, engine: SteppingEngine) -> RunResult:
         cfg = self._config
         now = engine.now_s
@@ -337,6 +498,12 @@ class Chapter4Strategy:
         }
 
     def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        # A restore moves the scheduler to an arbitrary point; the
+        # steady-state window cache is stale even if finished_jobs
+        # happens to match.
+        if self._window_cache is not None:
+            self._window_cache.clear()
+        self._cache_epoch = -1
         self._scheduler.load_state_dict(state["scheduler"])
         self._policy.load_state_dict(state.get("policy", {}))
         self._rotation = int(state.get("rotation", 0))

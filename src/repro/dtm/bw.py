@@ -8,7 +8,12 @@ entirely, with DTM-TS-style release hysteresis.
 
 from __future__ import annotations
 
-from repro.dtm.base import ControlDecision, DTMPolicy, ThermalReading
+from repro.dtm.base import (
+    ControlDecision,
+    DTMPolicy,
+    ThermalReading,
+    _decision_memo,
+)
 from repro.dtm.levels import LevelTracker
 from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
 
@@ -23,6 +28,7 @@ class DTMBW(DTMPolicy):
     """
 
     name = "DTM-BW"
+    vectorized = True
 
     def __init__(self, levels: EmergencyLevels | None = None, cores: int = 4) -> None:
         self._levels = levels if levels is not None else SIMULATION_LEVELS
@@ -40,6 +46,28 @@ class DTMBW(DTMPolicy):
             active_cores=self._cores,
             emergency_level=level,
         )
+
+    @classmethod
+    def decide_all(cls, policies, amb_c, dram_c, dt_s, pending=None):
+        """Batched level tracking + ladder lookup, per-rung decisions."""
+        if cls is not DTMBW:
+            return super().decide_all(policies, amb_c, dram_c, dt_s, pending)
+        decisions = []
+        for policy, amb, dram in zip(policies, amb_c, dram_c):
+            level = policy._tracker.level_values(amb, dram)
+            memo = _decision_memo(policy)
+            decision = memo.get(level)
+            if decision is None:
+                cap = policy._levels.bw_caps_bytes_per_s[level]
+                memory_on = cap is None or cap > 0.0
+                decision = memo[level] = ControlDecision(
+                    memory_on=memory_on,
+                    bandwidth_cap_bytes_per_s=cap if memory_on else 0.0,
+                    active_cores=policy._cores,
+                    emergency_level=level,
+                )
+            decisions.append(decision)
+        return decisions, None
 
     def reset(self) -> None:
         """Clear the shutdown latch."""

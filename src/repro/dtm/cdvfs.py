@@ -11,7 +11,12 @@ is why CDVFS overtakes ACG on real systems (§4.5, §5.4.3).
 
 from __future__ import annotations
 
-from repro.dtm.base import ControlDecision, DTMPolicy, ThermalReading
+from repro.dtm.base import (
+    ControlDecision,
+    DTMPolicy,
+    ThermalReading,
+    _decision_memo,
+)
 from repro.dtm.levels import LevelTracker
 from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
 
@@ -27,6 +32,7 @@ class DTMCDVFS(DTMPolicy):
     """
 
     name = "DTM-CDVFS"
+    vectorized = True
 
     def __init__(
         self,
@@ -50,6 +56,30 @@ class DTMCDVFS(DTMPolicy):
             dvfs_level=dvfs,
             emergency_level=level,
         )
+
+    @classmethod
+    def decide_all(cls, policies, amb_c, dram_c, dt_s, pending=None):
+        """Batched level tracking + DVFS ladder, per-rung decisions."""
+        if cls is not DTMCDVFS:
+            return super().decide_all(policies, amb_c, dram_c, dt_s, pending)
+        decisions = []
+        for policy, amb, dram in zip(policies, amb_c, dram_c):
+            level = policy._tracker.level_values(amb, dram)
+            memo = _decision_memo(policy)
+            decision = memo.get(level)
+            if decision is None:
+                dvfs = min(
+                    policy._levels.cdvfs_levels[level], policy._stopped_level
+                )
+                stopped = dvfs >= policy._stopped_level
+                decision = memo[level] = ControlDecision(
+                    memory_on=not stopped,
+                    active_cores=0 if stopped else policy._cores,
+                    dvfs_level=dvfs,
+                    emergency_level=level,
+                )
+            decisions.append(decision)
+        return decisions, None
 
     def reset(self) -> None:
         """Clear the shutdown latch."""

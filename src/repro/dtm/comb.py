@@ -9,7 +9,12 @@ study.
 
 from __future__ import annotations
 
-from repro.dtm.base import ControlDecision, DTMPolicy, ThermalReading
+from repro.dtm.base import (
+    ControlDecision,
+    DTMPolicy,
+    ThermalReading,
+    _decision_memo,
+)
 from repro.dtm.levels import LevelTracker
 from repro.params.emergency import EmergencyLevels, PE1950_LEVELS
 
@@ -26,6 +31,7 @@ class DTMCOMB(DTMPolicy):
     """
 
     name = "DTM-COMB"
+    vectorized = True
 
     def __init__(
         self,
@@ -51,6 +57,30 @@ class DTMCOMB(DTMPolicy):
             dvfs_level=dvfs,
             emergency_level=level,
         )
+
+    @classmethod
+    def decide_all(cls, policies, amb_c, dram_c, dt_s, pending=None):
+        """Batched level tracking + both ladders, per-rung decisions."""
+        if cls is not DTMCOMB:
+            return super().decide_all(policies, amb_c, dram_c, dt_s, pending)
+        decisions = []
+        for policy, amb, dram in zip(policies, amb_c, dram_c):
+            level = policy._tracker.level_values(amb, dram)
+            memo = _decision_memo(policy)
+            decision = memo.get(level)
+            if decision is None:
+                levels = policy._levels
+                active = levels.acg_active_cores[level]
+                if active > 0:
+                    active = max(active, policy._min_active)
+                decision = memo[level] = ControlDecision(
+                    memory_on=active > 0,
+                    active_cores=min(active, policy._cores),
+                    dvfs_level=levels.cdvfs_levels[level],
+                    emergency_level=level,
+                )
+            decisions.append(decision)
+        return decisions, None
 
     def reset(self) -> None:
         """Clear the shutdown latch."""

@@ -37,19 +37,25 @@ class LevelTracker:
         both temperatures fall to their thermal release points, at which
         point the level is re-evaluated normally.
         """
-        raw = self._levels.level(reading.amb_c, reading.dram_c)
-        top = self._levels.level_count - 1
+        return self.level_values(reading.amb_c, reading.dram_c)
+
+    def level_values(self, amb_c: float, dram_c: float) -> int:
+        """:meth:`level` on bare temperatures — the batched deciders'
+        entry point (``decide_all`` feeds floats straight from the
+        gang's flat arrays without building a ThermalReading)."""
+        levels = self._levels
+        raw = levels.level(amb_c, dram_c)
+        top = levels.level_count - 1
         if raw >= top:
             self._latched_shutdown = True
         if self._latched_shutdown:
             released = (
-                reading.amb_c <= self._levels.amb_trp_c
-                and reading.dram_c <= self._levels.dram_trp_c
+                amb_c <= levels.amb_trp_c and dram_c <= levels.dram_trp_c
             )
             if not released:
                 return top
             self._latched_shutdown = False
-            raw = self._levels.level(reading.amb_c, reading.dram_c)
+            raw = levels.level(amb_c, dram_c)
         return raw
 
     def reset(self) -> None:

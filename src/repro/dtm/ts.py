@@ -9,7 +9,12 @@ stay safely below the TDP to tolerate imperfect sensors (§4.4.1).
 
 from __future__ import annotations
 
-from repro.dtm.base import ControlDecision, DTMPolicy, ThermalReading
+from repro.dtm.base import (
+    ControlDecision,
+    DTMPolicy,
+    ThermalReading,
+    _decision_memo,
+)
 from repro.errors import ConfigurationError
 from repro.params.emergency import EmergencyLevels, SIMULATION_LEVELS
 
@@ -27,6 +32,7 @@ class DTMTS(DTMPolicy):
     """
 
     name = "DTM-TS"
+    vectorized = True
 
     def __init__(
         self,
@@ -71,6 +77,40 @@ class DTMTS(DTMPolicy):
             active_cores=self._cores,
             emergency_level=level,
         )
+
+    @classmethod
+    def decide_all(cls, policies, amb_c, dram_c, dt_s, pending=None):
+        """Batched hysteresis: one tight loop, shared decision objects.
+
+        Identical comparisons in identical order to :meth:`decide`; the
+        per-cell saving is the ThermalReading/ControlDecision object
+        churn and the dispatch, not the arithmetic.  Latch state commits
+        immediately (``pending`` stays ``None``).
+        """
+        if cls is not DTMTS:
+            # A subclass may have changed decide(); never vectorize it.
+            return super().decide_all(policies, amb_c, dram_c, dt_s, pending)
+        decisions = []
+        for policy, amb, dram in zip(policies, amb_c, dram_c):
+            levels = policy._levels
+            shut = policy._shut_down
+            if amb >= levels.amb_tdp_c or dram >= levels.dram_tdp_c:
+                shut = policy._shut_down = True
+            elif shut and (
+                amb <= policy._amb_trp_c and dram <= policy._dram_trp_c
+            ):
+                shut = policy._shut_down = False
+            level = levels.level(amb, dram)
+            memo = _decision_memo(policy)
+            decision = memo.get((shut, level))
+            if decision is None:
+                decision = memo[(shut, level)] = ControlDecision(
+                    memory_on=not shut,
+                    active_cores=policy._cores,
+                    emergency_level=level,
+                )
+            decisions.append(decision)
+        return decisions, None
 
     def reset(self) -> None:
         """Memory back on."""

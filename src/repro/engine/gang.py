@@ -44,10 +44,12 @@ import json
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from repro.core.kernel import BatchedMemSpot, GridMemSpot
+from repro.core.kernel import BatchedMemSpot, GridMemSpot, _import_numpy
+from repro.engine.observers import ProgressObserver, TraceRecorder
 from repro.engine.state import EngineState
 from repro.engine.stepping import SteppingEngine
 from repro.errors import CheckpointError, ConfigurationError
+from repro.obs.metrics import METRICS
 
 #: Per spec kind: fields that influence only the thermal chain (or pure
 #: presentation), never the strategy's decision/evaluation/advance.
@@ -91,6 +93,46 @@ def leader_signature(spec: Any) -> str | None:
         return None
     fields = {k: v for k, v in spec.__dict__.items() if k not in irrelevant}
     return f"{spec.kind}|{json.dumps(fields, sort_keys=True, default=str)}"
+
+
+class _VectorEpoch:
+    """Hoisted state for the batched lockstep fast path.
+
+    One instance spans one membership generation of a gang (built
+    lazily, dropped on retirement/restore/flush).  It shadows the
+    engine-owned per-window accounting in flat arrays — peaks, energy
+    integrals, clocks — and carries the per-policy-class grouping that
+    :meth:`~repro.dtm.base.DTMPolicy.decide_all` batches over, so the
+    per-window cost of N thermally-sensitive cells is a handful of
+    array operations plus the strategies' own scheduler work instead of
+    N full ``begin_window``/``apply_window`` round trips.  The arrays
+    are scattered back into the engines (and staged policy state
+    committed via ``apply_all``) at every point where engine or policy
+    state becomes externally visible.
+    """
+
+    __slots__ = (
+        "engines",
+        "strategies",
+        "window_fns",
+        "done_fns",
+        "groups",
+        "grid",
+        "np",
+        "horizons",
+        "min_horizon",
+        "progress_observers",
+        "any_progress",
+        "amb",
+        "dram",
+        "windows",
+        "now",
+        "peak_amb",
+        "peak_dram",
+        "amb_int",
+        "mem_e",
+        "cpu_e",
+    )
 
 
 class GangStrategy:
@@ -155,6 +197,17 @@ class GangStrategy:
         #: changes (retirement, restore).
         self._active_engines = [engines[j] for j in self._active]
         self._grid: GridMemSpot | None = None
+        #: Vector fast-path state: None = not yet evaluated for the
+        #: current membership, False = ineligible (per-cell fallback),
+        #: else the live :class:`_VectorEpoch`.
+        self._vector: Any = None
+        if mode == "leader":
+            METRICS.counter_inc(
+                "repro_gang_step_path_total",
+                "Gang cells by stepping path",
+                amount=float(len(engines)),
+                path="leader",
+            )
 
     # -- introspection -----------------------------------------------------
 
@@ -233,6 +286,253 @@ class GangStrategy:
         self._active = still
         self._active_engines = [self._engines[j] for j in still]
         self._grid = None
+        self._vector = None
+
+    # -- vector fast path --------------------------------------------------
+
+    def _build_vector_epoch(self) -> Any:
+        """Build the batched-lockstep state, or False when ineligible.
+
+        The fast path replays every per-window operation a solo engine
+        performs, so it only engages when nothing else watches the
+        per-window stream: no per-phase tracing, strategies that expose
+        the split decide/window surface, and observers that provably
+        cannot see a difference (a disabled :class:`TraceRecorder`, or
+        a :class:`ProgressObserver` — fired at exactly the windows it
+        would fire on solo, against flushed engine state).
+        """
+        engines = self._active_engines
+        strategies = []
+        progress_observers: list[list[ProgressObserver]] = []
+        for engine in engines:
+            strategy = engine.strategy
+            if engine._tracing is not None:
+                return False
+            if not hasattr(strategy, "dtm_policy") or not hasattr(
+                strategy, "window_with_decision"
+            ):
+                return False
+            watchers: list[ProgressObserver] = []
+            for obs in engine.observers:
+                if type(obs) is TraceRecorder and not obs.enabled:
+                    continue
+                if type(obs) is ProgressObserver:
+                    watchers.append(obs)
+                    continue
+                return False
+            strategies.append(strategy)
+            progress_observers.append(watchers)
+
+        ep = _VectorEpoch()
+        ep.engines = list(engines)
+        ep.strategies = strategies
+        ep.window_fns = [
+            getattr(s, "window_fast", None) or s.window_with_decision
+            for s in strategies
+        ]
+        ep.done_fns = [
+            (engine.strategy.done, engine) for engine in engines
+        ]
+        groups: dict[type, list] = {}
+        for position, strategy in enumerate(strategies):
+            policy = strategy.dtm_policy
+            group = groups.get(type(policy))
+            if group is None:
+                groups[type(policy)] = group = [type(policy), [], [], None]
+            group[1].append(position)
+            group[2].append(policy)
+        ep.groups = list(groups.values())
+        ep.grid = self._ensure_grid()
+        ep.np = _import_numpy() if ep.grid.backend == "numpy" else None
+        ep.horizons = [s.max_sim_horizon() for s in strategies]
+        ep.min_horizon = min(
+            (h for h in ep.horizons if h is not None), default=None
+        )
+        ep.progress_observers = progress_observers
+        ep.any_progress = any(progress_observers)
+        ep.amb = [engine.sample.amb_c for engine in engines]
+        ep.dram = [engine.sample.dram_c for engine in engines]
+        ep.windows = [engine.windows for engine in engines]
+        ep.now = [engine.now_s for engine in engines]
+        peak_amb = [engine.peak_amb_c for engine in engines]
+        peak_dram = [engine.peak_dram_c for engine in engines]
+        amb_int = [engine.ambient_integral for engine in engines]
+        mem_e = [engine.memory_energy_j for engine in engines]
+        cpu_e = [engine.cpu_energy_j for engine in engines]
+        if ep.np is not None:
+            np = ep.np
+            peak_amb = np.asarray(peak_amb, dtype=np.float64)
+            peak_dram = np.asarray(peak_dram, dtype=np.float64)
+            amb_int = np.asarray(amb_int, dtype=np.float64)
+            mem_e = np.asarray(mem_e, dtype=np.float64)
+            cpu_e = np.asarray(cpu_e, dtype=np.float64)
+        ep.peak_amb = peak_amb
+        ep.peak_dram = peak_dram
+        ep.amb_int = amb_int
+        ep.mem_e = mem_e
+        ep.cpu_e = cpu_e
+        return ep
+
+    def _scatter_vector_state(self, ep: _VectorEpoch) -> None:
+        """Write the epoch's shadow accumulators into the engines."""
+        if ep.np is not None:
+            peak_amb = ep.peak_amb.tolist()
+            peak_dram = ep.peak_dram.tolist()
+            amb_int = ep.amb_int.tolist()
+            mem_e = ep.mem_e.tolist()
+            cpu_e = ep.cpu_e.tolist()
+        else:
+            peak_amb = ep.peak_amb
+            peak_dram = ep.peak_dram
+            amb_int = ep.amb_int
+            mem_e = ep.mem_e
+            cpu_e = ep.cpu_e
+        for i, engine in enumerate(ep.engines):
+            engine.peak_amb_c = peak_amb[i]
+            engine.peak_dram_c = peak_dram[i]
+            engine.ambient_integral = amb_int[i]
+            engine.memory_energy_j = mem_e[i]
+            engine.cpu_energy_j = cpu_e[i]
+            engine.windows = ep.windows[i]
+            engine.now_s = ep.now[i]
+
+    def _flush_vector(self) -> None:
+        """Fully commit and drop a live vector epoch.
+
+        Engine accumulators, staged policy state (``apply_all``),
+        thermal state, and each engine's live ``sample`` all become
+        consistent with what per-cell stepping would have left — the
+        same boundary contract :meth:`SteppingEngine.restore` relies
+        on (``sample()`` at a window boundary equals the last step's
+        sample in every field read before the next step).
+        """
+        ep = self._vector
+        if not isinstance(ep, _VectorEpoch):
+            return
+        self._vector = None
+        self._scatter_vector_state(ep)
+        for group in ep.groups:
+            cls, _positions, policies, pending = group
+            cls.apply_all(policies, pending)
+            group[3] = None
+        self._sync_grid()
+        for engine in ep.engines:
+            engine.sample = engine.strategy.memspot.sample()
+
+    def _step_vector(self, ep: _VectorEpoch) -> bool:
+        """One batched lockstep window (the vector fast path)."""
+        engines = ep.engines
+        count = len(engines)
+        dt = self.dt_s
+        now = ep.now
+        # Runaway-horizon guard, hoisted: nobody can trip a horizon
+        # while the latest clock is below the earliest one.
+        if ep.min_horizon is not None and max(now) > ep.min_horizon:
+            for i, engine in enumerate(engines):
+                horizon = ep.horizons[i]
+                if horizon is not None and now[i] > horizon:
+                    strategy = ep.strategies[i]
+                    self._flush_vector()
+                    raise strategy.timeout_error(engine)
+
+        # Batched policy decisions, one decide_all per policy class.
+        amb = ep.amb
+        dram = ep.dram
+        groups = ep.groups
+        if len(groups) == 1:
+            group = groups[0]
+            decisions, group[3] = group[0].decide_all(
+                group[2], amb, dram, dt, group[3]
+            )
+        else:
+            decisions = [None] * count
+            for group in groups:
+                cls, positions, policies, pending = group
+                got, group[3] = cls.decide_all(
+                    policies,
+                    [amb[i] for i in positions],
+                    [dram[i] for i in positions],
+                    dt,
+                    pending,
+                )
+                for i, decision in zip(positions, got):
+                    decisions[i] = decision
+
+        # Per-cell strategy windows under the precomputed decisions.
+        outcomes = [
+            fn(engine, decision)
+            for fn, engine, decision in zip(ep.window_fns, engines, decisions)
+        ]
+
+        # One grid step for all thermal chains, no sample objects.
+        amb_peak, dram_peak, ambient_c, power = ep.grid.step_all_raw(
+            [o.read_bytes_per_s for o in outcomes],
+            [o.write_bytes_per_s for o in outcomes],
+            [o.heating_sum for o in outcomes],
+            dt,
+        )
+
+        # apply_window accounting over flat arrays — elementwise, so
+        # bit-identical to the per-cell max/multiply/add sequence.
+        np = ep.np
+        if np is not None:
+            ep.peak_amb = np.maximum(ep.peak_amb, amb_peak)
+            ep.peak_dram = np.maximum(ep.peak_dram, dram_peak)
+            ep.amb_int = ep.amb_int + ambient_c * dt
+            ep.mem_e = ep.mem_e + power * dt
+            cpu_w = np.asarray(
+                [o.cpu_power_w for o in outcomes], dtype=np.float64
+            )
+            ep.cpu_e = ep.cpu_e + cpu_w * dt
+            ep.amb = amb_peak.tolist()
+            ep.dram = dram_peak.tolist()
+        else:
+            peak_amb = ep.peak_amb
+            peak_dram = ep.peak_dram
+            amb_int = ep.amb_int
+            mem_e = ep.mem_e
+            cpu_e = ep.cpu_e
+            for i in range(count):
+                if amb_peak[i] > peak_amb[i]:
+                    peak_amb[i] = amb_peak[i]
+                if dram_peak[i] > peak_dram[i]:
+                    peak_dram[i] = dram_peak[i]
+                amb_int[i] += ambient_c[i] * dt
+                mem_e[i] += power[i] * dt
+                cpu_e[i] += outcomes[i].cpu_power_w * dt
+            ep.amb = amb_peak
+            ep.dram = dram_peak
+
+        # Clock advance plus the progress-observer cadence.
+        windows = ep.windows
+        fired = False
+        if ep.any_progress:
+            watchers = ep.progress_observers
+            for i in range(count):
+                now[i] += dt
+                w = windows[i] + 1
+                windows[i] = w
+                for obs in watchers[i]:
+                    if w % obs.every_windows == 0:
+                        fired = True
+        else:
+            for i in range(count):
+                now[i] += dt
+                windows[i] += 1
+        if fired:
+            # Observers see flushed engine state at exactly the windows
+            # they would fire on solo (their own modulo re-checks).
+            self._scatter_vector_state(ep)
+            for i, engine in enumerate(engines):
+                for obs in ep.progress_observers[i]:
+                    obs.on_window(engine)
+
+        for done, engine in ep.done_fns:
+            if done(engine):
+                self._flush_vector()
+                self._retire_finished()
+                return True
+        return True
 
     def step_window(self) -> bool:
         """Advance every unfinished cell by one window.
@@ -242,6 +542,18 @@ class GangStrategy:
         if not self._active:
             return False
         engines = self._active_engines
+        if self.mode == "lockstep":
+            epoch = self._vector
+            if epoch is None:
+                epoch = self._vector = self._build_vector_epoch()
+                METRICS.counter_inc(
+                    "repro_gang_step_path_total",
+                    "Gang cells by stepping path",
+                    amount=float(len(engines)),
+                    path="vector" if epoch is not False else "fallback",
+                )
+            if epoch is not False:
+                return self._step_vector(epoch)
         if self.mode == "leader":
             leader = engines[0]
             outcome = leader.begin_window()
@@ -289,6 +601,7 @@ class GangStrategy:
 
     def finish(self) -> list[Any]:
         """Finalize every cell (idempotent), in gang order."""
+        self._flush_vector()
         self._sync_follower_strategies()
         self._sync_grid()
         return [engine.finish() for engine in self._engines]
@@ -304,6 +617,7 @@ class GangStrategy:
         written — restoring into fresh solo engines (or a fresh gang)
         resumes bit-identically.
         """
+        self._flush_vector()
         self._sync_follower_strategies()
         self._sync_grid()
         return [engine.checkpoint() for engine in self._engines]
@@ -324,6 +638,7 @@ class GangStrategy:
         ]
         self._active_engines = [self._engines[j] for j in self._active]
         self._grid = None  # re-pull restored thermal state lazily
+        self._vector = None  # shadow state is stale; rebuild lazily
 
 
 @dataclass(frozen=True)
@@ -427,4 +742,25 @@ def plan_gangs(
             else:
                 emit(family, "leader")
         emit(lockstep, "lockstep")
-    return GangPlan(gangs=tuple(gangs), solo=tuple(solo))
+    plan = GangPlan(gangs=tuple(gangs), solo=tuple(solo))
+    if plan.gangs:
+        METRICS.counter_inc(
+            "repro_gang_planned_total",
+            "Gangs produced by plan_gangs",
+            amount=float(len(plan.gangs)),
+        )
+    if plan.ganged_cells:
+        METRICS.counter_inc(
+            "repro_gang_cells_total",
+            "Campaign cells by gang placement",
+            amount=float(plan.ganged_cells),
+            placement="ganged",
+        )
+    if plan.solo:
+        METRICS.counter_inc(
+            "repro_gang_cells_total",
+            "Campaign cells by gang placement",
+            amount=float(len(plan.solo)),
+            placement="solo",
+        )
+    return plan

@@ -282,3 +282,90 @@ def test_checkpoint_file_written_via_serializer_loads_identically(tmp_path):
         tmp_path / "deep" / "cached.json"
     ).read_text()
     assert cached.load().to_dict() == state.to_dict()
+
+
+# -- lockstep vectorization: property-based bit-identity --------------------
+
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: Policy families the vectorized lockstep path must reproduce
+#: bit-for-bit: table-driven (ts), latch-driven (bw), multi-actuator
+#: (comb), and the array-backed PID controller — alone and mixed, so
+#: both the single-group decide_all fast case and the multi-group
+#: scatter path are exercised.
+_LOCKSTEP_FAMILIES = (
+    ("ts",),
+    ("bw",),
+    ("comb",),
+    ("bw+pid",),
+    ("ts", "bw"),
+    ("comb", "bw+pid"),
+)
+
+
+def _lockstep_specs(policies, delta_step):
+    return [
+        replace(_BASE, policy=policy, inlet_delta_c=delta_step * i)
+        for policy in policies
+        for i in range(2)
+    ]
+
+
+@settings(max_examples=12, derandomize=True, deadline=None)
+@given(
+    policies=st.sampled_from(_LOCKSTEP_FAMILIES),
+    delta_step=st.floats(
+        min_value=0.01, max_value=0.75,
+        allow_nan=False, allow_infinity=False,
+    ),
+    backend=st.sampled_from(("python", "auto")),
+    windows=st.integers(min_value=40, max_value=160),
+)
+def test_lockstep_gang_prefix_bitwise_identical_to_solo(
+    policies, delta_step, backend, windows
+):
+    """Property: any thermally-sensitive gang's full engine state after
+    N windows — temperatures, energy integrals, scheduler, policy
+    latches and PID integrals — equals the solo engines' bit for bit,
+    on both kernel backends."""
+    specs = _lockstep_specs(policies, delta_step)
+    solo = [engine_for_spec(spec) for spec in specs]
+    for engine in solo:
+        engine.step_windows(windows)
+    plan = plan_gangs(_cells(specs), batch_cells=16, backend=backend)
+    assert len(plan.gangs) == 1 and not plan.solo
+    gang = plan.gangs[0].gang
+    assert gang.mode == "lockstep"
+    gang.step_windows(windows)
+    gang_states = [state.to_dict() for state in gang.checkpoint()]
+    solo_states = [engine.checkpoint().to_dict() for engine in solo]
+    assert gang_states == solo_states
+
+
+def test_lockstep_gang_identity_without_numpy(monkeypatch):
+    """The pure-python vector path (no NumPy importable at all) stays
+    bit-identical to solo engines, and the gang metrics register."""
+    import repro.core.kernel as kernel
+    from repro.obs.metrics import METRICS
+
+    monkeypatch.setattr(kernel, "_import_numpy", lambda: None)
+    specs = _lockstep_specs(("ts", "bw+pid"), 0.4)
+    solo = [engine_for_spec(spec) for spec in specs]
+    for engine in solo:
+        engine.step_windows(120)
+    plan = plan_gangs(_cells(specs), batch_cells=16)
+    gang = plan.gangs[0].gang
+    assert gang.kernel_backend == "python"
+    gang.step_windows(120)
+    assert [s.to_dict() for s in gang.checkpoint()] == [
+        e.checkpoint().to_dict() for e in solo
+    ]
+    rendered = METRICS.render_text()
+    for name in (
+        "repro_gang_planned_total",
+        "repro_gang_cells_total",
+        "repro_gang_step_path_total",
+    ):
+        assert name in rendered

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the key benchmarks and emit a machine-readable ``BENCH_PR9.json``.
+"""Run the key benchmarks and emit a machine-readable ``BENCH_PR10.json``.
 
-The bench trajectory continues from ``BENCH_PR8.json``: one small,
+The bench trajectory continues from ``BENCH_PR9.json``: one small,
 fast, deterministic-in-shape bundle that CI runs on every push and
 uploads as an artifact, so regressions in the hot paths show up as a
 diffable JSON file instead of anecdotes.  Current probes:
@@ -17,6 +17,16 @@ diffable JSON file instead of anecdotes.  Current probes:
   the serial baseline, and the speedups are asserted against floors
   (>= 1.2x pure python, >= 3x NumPy) so a vectorization regression
   fails the bench instead of drifting.
+- ``lockstep_gang_vs_serial`` — the same grid shape under DTM-TS
+  (thermally sensitive, so no leader shortcut exists): per-cell
+  serial vs one lockstep gang driving batched ``decide_all``, the
+  steady-state window cache, and flat per-window accounting.
+  Byte-identical payloads asserted, floors >= 1.1x pure python and
+  >= 2x NumPy.
+- ``fleet_vector_vs_fleet_serial`` — a 16-cell DTM-TS sweep over a
+  2-worker fleet, per-cell dispatch vs gang-aware dispatch
+  (``batch_cells=8``: one whole gang per worker, lock-stepped there),
+  value-identical results and a >= 1.2x floor asserted.
 - ``campaign_grid_serial`` / ``campaign_grid_fleet2`` — the 8-cell ch4
   grid cold through an in-process serial run vs an
   ``HttpWorkerBackend`` over a 2-worker :class:`LocalFleet` with
@@ -265,6 +275,182 @@ def bench_gang_vs_serial(repeats: int, cells: int = 32) -> dict:
         result[f"speedup_{name}"] = round(speedup, 3)
         result[f"min_speedup_{name}"] = floor
     return result
+
+
+#: Speedup floors for the thermally-sensitive lockstep bench (the
+#: PR 10 acceptance bar).  Lower than the leader-gang floors: every
+#: cell runs its own policy and window model here, so the win comes
+#: from batched decide_all, the steady-state window cache, and flat
+#: per-window accounting, not from sharing one leader's work.
+LOCKSTEP_MIN_SPEEDUP_PYTHON = 1.1
+LOCKSTEP_MIN_SPEEDUP_NUMPY = 2.0
+
+
+def bench_lockstep_gang_vs_serial(repeats: int, cells: int = 32) -> dict:
+    """A thermally-sensitive inlet sweep: per-cell serial vs lockstep.
+
+    Same shape as :func:`bench_gang_vs_serial` but under DTM-TS, whose
+    decisions read the temperatures — no leader shortcut exists, so
+    the gang must step every cell's policy and scheduler and the
+    speedup measures the vectorized lockstep path itself.  Per-cell
+    payloads are asserted byte-identical to the serial baseline.
+    """
+    specs = [
+        Chapter4Spec(
+            mix="W1", policy="ts", copies=1, inlet_delta_c=0.05 * i
+        )
+        for i in range(cells)
+    ]
+    grid = [(spec.key(), spec) for spec in specs]
+    encode = runner_for("ch4").encode
+
+    def serial_once() -> tuple[float, dict[str, dict]]:
+        started = time.perf_counter()
+        payloads = {
+            key: encode(engine_for_spec(spec).run_to_completion())
+            for key, spec in grid
+        }
+        return time.perf_counter() - started, payloads
+
+    def gang_once(backend: str) -> tuple[float, dict[str, dict]]:
+        started = time.perf_counter()
+        plan = plan_gangs(grid, batch_cells=len(grid), backend=backend)
+        assert not plan.solo and len(plan.gangs) == 1, "expected one gang"
+        (planned,) = plan.gangs
+        assert planned.gang.mode == "lockstep", planned.gang.mode
+        payloads = {
+            key: encode(result)
+            for (key, _), result in zip(
+                planned.cells, planned.gang.run_to_completion()
+            )
+        }
+        return time.perf_counter() - started, payloads
+
+    backends = ["python"] + (["numpy"] if _import_numpy() is not None else [])
+    serial_samples: list[float] = []
+    gang_samples: dict[str, list[float]] = {name: [] for name in backends}
+    baseline: dict[str, dict] | None = None
+    for _ in range(repeats):
+        seconds, payloads = serial_once()
+        serial_samples.append(seconds)
+        if baseline is None:
+            baseline = payloads
+        assert payloads == baseline, "serial reps must be deterministic"
+        for name in backends:
+            seconds, payloads = gang_once(name)
+            gang_samples[name].append(seconds)
+            assert payloads == baseline, (
+                f"lockstep gang ({name}) payloads differ from the "
+                f"serial baseline"
+            )
+
+    best_serial = min(serial_samples)
+    result = {
+        "description": (
+            f"{cells}-cell thermally-sensitive W1/ts inlet sweep: "
+            f"per-cell serial vs one lockstep gang (payloads "
+            f"byte-identical)"
+        ),
+        "cells": cells,
+        "serial_seconds": round(best_serial, 4),
+        "numpy_available": "numpy" in backends,
+    }
+    for name in backends:
+        best = min(gang_samples[name])
+        speedup = best_serial / best
+        floor = (
+            LOCKSTEP_MIN_SPEEDUP_NUMPY
+            if name == "numpy"
+            else LOCKSTEP_MIN_SPEEDUP_PYTHON
+        )
+        assert speedup >= floor, (
+            f"lockstep gang ({name}) speedup {speedup:.2f}x fell below "
+            f"the {floor}x floor (serial {best_serial:.3f}s vs gang "
+            f"{best:.3f}s)"
+        )
+        result[f"gang_{name}_seconds"] = round(best, 4)
+        result[f"speedup_{name}"] = round(speedup, 3)
+        result[f"min_speedup_{name}"] = floor
+    return result
+
+
+#: Floor for gang-aware fleet dispatch vs per-cell dispatch on the
+#: same fleet: shipping whole gangs must beat shipping cells.
+FLEET_GANG_MIN_SPEEDUP = 1.2
+FLEET_GANG_CELLS = 16
+FLEET_GANG_BATCH = 8
+
+
+def _fleet_sweep_once(
+    workers: int, batch_cells: int | None
+) -> tuple[float, list]:
+    specs = [
+        Chapter4Spec(mix="W1", policy="ts", copies=1, inlet_delta_c=0.05 * i)
+        for i in range(FLEET_GANG_CELLS)
+    ]
+    with LocalFleet(workers, env={"REPRO_CACHE": "0"}) as fleet:
+        with HttpWorkerBackend(
+            fleet.urls, batch_cells=batch_cells, heartbeat_interval_s=5.0
+        ) as backend:
+            started = time.perf_counter()
+            results = Campaign(
+                specs, store=MemoryStore(), backend=backend
+            ).run()
+            elapsed = time.perf_counter() - started
+    assert len(results) == len(specs)
+    return elapsed, results
+
+
+def bench_fleet_gang_vs_fleet_serial(repeats: int, workers: int = 2) -> dict:
+    """Gang-aware vs per-cell dispatch on the same 2-worker fleet.
+
+    The same thermally-sensitive sweep cold through
+    :class:`HttpWorkerBackend` twice per rep (interleaved): once with
+    per-cell chunked dispatch, once with ``batch_cells`` gang units —
+    each worker receives one whole gang and lock-steps it through one
+    grid kernel.  Results must be value-identical; the gang side must
+    clear the 1.2x floor.  Worker boot is excluded from both
+    timings.
+    """
+    percell_samples: list[float] = []
+    gang_samples: list[float] = []
+    baseline: list | None = None
+    for _ in range(repeats):
+        seconds, results = _fleet_sweep_once(workers, None)
+        percell_samples.append(seconds)
+        if baseline is None:
+            baseline = results
+        assert results == baseline, "per-cell fleet reps must agree"
+        seconds, results = _fleet_sweep_once(workers, FLEET_GANG_BATCH)
+        gang_samples.append(seconds)
+        assert results == baseline, (
+            "gang-aware fleet results differ from per-cell dispatch"
+        )
+    best_percell = min(percell_samples)
+    best_gang = min(gang_samples)
+    speedup = best_percell / best_gang
+    assert speedup >= FLEET_GANG_MIN_SPEEDUP, (
+        f"gang-aware fleet speedup {speedup:.2f}x fell below the "
+        f"{FLEET_GANG_MIN_SPEEDUP}x floor (per-cell {best_percell:.3f}s "
+        f"vs gang {best_gang:.3f}s)"
+    )
+    return {
+        "description": (
+            f"{FLEET_GANG_CELLS}-cell W1/ts inlet sweep over "
+            f"{workers} LocalFleet workers: per-cell dispatch vs "
+            f"gang-aware dispatch (batch_cells={FLEET_GANG_BATCH}, "
+            f"one gang per worker), reps interleaved, results "
+            f"value-identical"
+        ),
+        "cells": FLEET_GANG_CELLS,
+        "workers": workers,
+        "batch_cells": FLEET_GANG_BATCH,
+        "fleet_percell_seconds": round(best_percell, 4),
+        "fleet_gang_seconds": round(best_gang, 4),
+        "best_seconds": round(best_gang, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup": FLEET_GANG_MIN_SPEEDUP,
+    }
 
 
 def _serial_grid_once() -> float:
@@ -829,7 +1015,7 @@ def bench_job_queue_throughput(repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR9.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR10.json"), metavar="PATH"
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -846,6 +1032,10 @@ def main(argv: list[str] | None = None) -> int:
     benches["kernel_window_stream"] = bench_kernel_window_stream(args.repeats)
     print("bench: gang_vs_serial ...", flush=True)
     benches["gang_vs_serial"] = bench_gang_vs_serial(args.repeats)
+    print("bench: lockstep_gang_vs_serial ...", flush=True)
+    benches["lockstep_gang_vs_serial"] = bench_lockstep_gang_vs_serial(
+        args.repeats
+    )
     print("bench: checkpoint_overhead ...", flush=True)
     benches["checkpoint_overhead"] = bench_checkpoint_overhead(args.repeats)
     print("bench: warm_hit_latency ...", flush=True)
@@ -869,6 +1059,10 @@ def main(argv: list[str] | None = None) -> int:
         serial, fleet = bench_campaign_grids(args.repeats)
         benches["campaign_grid_serial"] = serial
         benches["campaign_grid_fleet2"] = fleet
+        print("bench: fleet_vector_vs_fleet_serial ...", flush=True)
+        benches["fleet_vector_vs_fleet_serial"] = (
+            bench_fleet_gang_vs_fleet_serial(args.repeats)
+        )
         print("bench: resume_vs_restart ...", flush=True)
         benches["resume_vs_restart"] = bench_resume_vs_restart()
 
